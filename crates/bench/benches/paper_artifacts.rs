@@ -1,0 +1,114 @@
+//! Criterion benches — one group per paper table/figure, timing the code
+//! that regenerates each artifact (see DESIGN.md's experiment index).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reram_bench::experiments::{ablations, fig3, fig4, fig5, fig7, fig8, fig9, table1};
+use std::hint::black_box;
+
+/// E1 (Fig. 4): mapping the example layer across replication factors.
+fn bench_mapping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_mapping");
+    for x in [1usize, 256, 12544] {
+        g.bench_with_input(BenchmarkId::new("balanced", x), &x, |b, &x| {
+            b.iter(|| black_box(fig4::measure(x)))
+        });
+    }
+    g.finish();
+}
+
+/// E2 (Fig. 5): cycle-stepped pipeline simulation.
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_pipeline");
+    for (l, b) in [(5usize, 16usize), (11, 32), (16, 128)] {
+        g.bench_with_input(
+            BenchmarkId::new("simulate", format!("L{l}_B{b}")),
+            &(l, b),
+            |bench, &(l, b)| bench.iter(|| black_box(fig5::measure(l, b, 4))),
+        );
+    }
+    g.finish();
+}
+
+/// E3 (Fig. 7): fractional-strided convolution functional check.
+fn bench_fcnn(c: &mut Criterion) {
+    c.bench_function("fig7_fcnn_check", |b| {
+        b.iter(|| black_box(fig7::functional_check(256, 128, 8, 64)))
+    });
+}
+
+/// E4 (Fig. 8): ReGAN schedule simulation.
+fn bench_regan_pipeline(c: &mut Criterion) {
+    c.bench_function("fig8_regan_cycles", |b| {
+        b.iter(|| black_box(fig8::measure(5, 5, 64)))
+    });
+}
+
+/// E5 (Fig. 9): SP/CS ablation across the four dataset shapes.
+fn bench_regan_opt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9_regan_opt");
+    for (name, ch, hw) in fig9::DATASETS {
+        g.bench_with_input(BenchmarkId::new("levels", name), &(ch, hw), |b, &(ch, hw)| {
+            b.iter(|| black_box(fig9::cycles_by_level(ch, hw, 64)))
+        });
+    }
+    g.finish();
+}
+
+/// E6 (Table I): PipeLayer-vs-GPU comparison per network.
+fn bench_table1_pipelayer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_pipelayer");
+    for net in table1::pipelayer_networks() {
+        g.bench_with_input(
+            BenchmarkId::new("compare", net.name.clone()),
+            &net,
+            |b, net| b.iter(|| black_box(table1::pipelayer_row(net, 32, 512))),
+        );
+    }
+    g.finish();
+}
+
+/// E7 (Table I): ReGAN-vs-GPU comparison per dataset.
+fn bench_table1_regan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_regan");
+    for (name, ch, hw) in fig9::DATASETS {
+        g.bench_with_input(BenchmarkId::new("compare", name), &(ch, hw), |b, &(ch, hw)| {
+            b.iter(|| black_box(table1::regan_row(name, ch, hw, 64, 50)))
+        });
+    }
+    g.finish();
+}
+
+/// E8 (Fig. 3(c)): tiled crossbar MVM.
+fn bench_tile_mvm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_tile_mvm");
+    g.sample_size(10);
+    for (o, i) in [(64usize, 64usize), (256, 300)] {
+        g.bench_with_input(
+            BenchmarkId::new("mvm", format!("{o}x{i}")),
+            &(o, i),
+            |b, &(o, i)| b.iter(|| black_box(fig3::measure(o, i))),
+        );
+    }
+    g.finish();
+}
+
+/// Ablation: spike precision error evaluation.
+fn bench_ablation_precision(c: &mut Criterion) {
+    c.bench_function("ablation_spike_precision", |b| {
+        b.iter(|| black_box(ablations::spike_precision_error(8)))
+    });
+}
+
+criterion_group!(
+    paper,
+    bench_mapping,
+    bench_pipeline,
+    bench_fcnn,
+    bench_regan_pipeline,
+    bench_regan_opt,
+    bench_table1_pipelayer,
+    bench_table1_regan,
+    bench_tile_mvm,
+    bench_ablation_precision,
+);
+criterion_main!(paper);

@@ -1,0 +1,96 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p reram-bench --bin repro --release             # everything
+//! cargo run -p reram-bench --bin repro --release -- table1   # one artifact
+//! ```
+//!
+//! Artifacts: `fig3 fig4 fig5 fig7 fig8 fig9 table1 ablations`.
+
+use reram_bench::experiments::{ablations, fig3, fig4, fig5, fig7, fig8, fig9, table1};
+
+fn section(title: &str, body: String) {
+    println!("== {title} ==");
+    println!("{body}");
+}
+
+fn run(artifact: &str) -> bool {
+    match artifact {
+        "fig3" => section(
+            "Fig. 3(c): partitioned large-matrix mapping (E8)",
+            fig3::run().render(),
+        ),
+        "fig4" => section(
+            "Fig. 4: naive vs balanced data mapping, replication sweep (E1)",
+            fig4::run().render(),
+        ),
+        "fig5" => section(
+            "Fig. 5: inter-layer training pipeline, simulator vs formulas (E2)",
+            fig5::run().render(),
+        ),
+        "fig7" => section(
+            "Fig. 7: fractional-strided convolution equivalences (E3)",
+            fig7::run().render(),
+        ),
+        "fig8" => section(
+            "Fig. 8: ReGAN GAN training pipeline cycles (E4)",
+            fig8::run().render(),
+        ),
+        "fig9" => section(
+            "Fig. 9: SP and CS optimization ablation (E5)",
+            fig9::run().render(),
+        ),
+        "table1" => section(
+            "Table I: PipeLayer and ReGAN vs GTX 1080 (E6/E7)",
+            table1::run().render(),
+        ),
+        "ablations" => {
+            section("Ablation: spike-code input precision", ablations::spike_precision().render());
+            section("Ablation: crossbar array size (AlexNet)", ablations::array_size().render());
+            section("Ablation: batch size vs pipeline overhead", ablations::batch_size().render());
+            section(
+                "Ablation: replication array budget (VGG-A)",
+                ablations::replication_budget().render(),
+            );
+            section("Ablation: device variation / read noise", ablations::device_noise().render());
+            section("Ablation: stuck-at cell faults", ablations::stuck_faults().render());
+            section(
+                "Analysis: ReRAM endurance under continuous in-situ training",
+                ablations::endurance().render(),
+            );
+            section(
+                "Analysis: chip-level bank provisioning (batch 32)",
+                ablations::chip_plan().render(),
+            );
+            section(
+                "Analysis: training-energy breakdown by component",
+                ablations::energy_breakdown().render(),
+            );
+            section(
+                "Ablation: readout scheme (spike I&F vs shared ADCs)",
+                ablations::readout_schemes().render(),
+            );
+        }
+        _ => return false,
+    }
+    true
+}
+
+fn main() {
+    const ALL: [&str; 8] = [
+        "fig3", "fig4", "fig5", "fig7", "fig8", "fig9", "table1", "ablations",
+    ];
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        for a in ALL {
+            assert!(run(a), "built-in artifact {a} must exist");
+        }
+        return;
+    }
+    for a in &args {
+        if !run(a) {
+            eprintln!("unknown artifact '{a}'; expected one of {ALL:?}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! E2 — Fig. 5: the inter-layer training pipeline.
+//!
+//! Sweeps network depth `L` and batch size `B`, running the cycle-stepped
+//! simulator and checking it against the paper's closed forms
+//! `(N/B)(2L + B + 1)` (pipelined) and `(2L + 1)N + N/B` (sequential).
+
+use crate::Table;
+use reram_core::PipelineModel;
+
+/// Swept `(L, B)` configurations.
+pub const CONFIGS: [(usize, usize); 6] = [(3, 4), (5, 16), (5, 64), (8, 32), (11, 32), (16, 128)];
+
+/// One measured row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineRow {
+    /// Weighted layers.
+    pub layers: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Inputs processed.
+    pub inputs: u64,
+    /// Simulated pipelined cycles.
+    pub simulated: u64,
+    /// Closed-form pipelined cycles.
+    pub formula: u64,
+    /// Closed-form sequential cycles.
+    pub sequential: u64,
+}
+
+/// Simulates one configuration over `batches` batches.
+pub fn measure(layers: usize, batch: usize, batches: u64) -> PipelineRow {
+    let p = PipelineModel::new(layers, batch);
+    let n = batches * batch as u64;
+    let trace = p.simulate_training(n);
+    PipelineRow {
+        layers,
+        batch,
+        inputs: n,
+        simulated: trace.total_cycles,
+        formula: p.training_cycles(n),
+        sequential: p.sequential_training_cycles(n),
+    }
+}
+
+/// Runs the full experiment.
+pub fn run() -> Table {
+    let mut t = Table::new([
+        "L",
+        "B",
+        "inputs",
+        "simulated",
+        "formula (N/B)(2L+B+1)",
+        "sequential (2L+1)N+N/B",
+        "speedup",
+    ]);
+    for (l, b) in CONFIGS {
+        let r = measure(l, b, 8);
+        t.row([
+            r.layers.to_string(),
+            r.batch.to_string(),
+            r.inputs.to_string(),
+            r.simulated.to_string(),
+            r.formula.to_string(),
+            r.sequential.to_string(),
+            crate::table::ratio(r.sequential as f64 / r.simulated as f64),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulation_equals_formula_everywhere() {
+        for (l, b) in CONFIGS {
+            let r = measure(l, b, 8);
+            assert_eq!(r.simulated, r.formula, "L={l} B={b}");
+        }
+    }
+
+    #[test]
+    fn pipeline_always_at_least_as_fast() {
+        for (l, b) in CONFIGS {
+            let r = measure(l, b, 4);
+            assert!(r.sequential >= r.simulated);
+        }
+    }
+
+    #[test]
+    fn run_covers_sweep() {
+        assert_eq!(run().len(), CONFIGS.len());
+    }
+}

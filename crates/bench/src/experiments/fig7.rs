@@ -1,0 +1,146 @@
+//! E3 — Fig. 7: fractional-strided convolution as ordinary convolution.
+//!
+//! Verifies, on DCGAN generator layer shapes, that (a) the forward FCNN
+//! computed by zero insertion + unit-stride convolution matches the direct
+//! transposed-convolution semantics, and (b) the error back-propagation is
+//! the strided convolution the paper describes — then reports the crossbar
+//! cost of treating the FCNN as the equivalent convolution.
+
+use crate::Table;
+use reram_core::{AcceleratorConfig, LayerMapping, MappingScheme};
+use reram_nn::LayerSpec;
+use reram_tensor::{init, ops, Shape4, Tensor};
+
+/// DCGAN generator FCNN shapes `(in_c, out_c, in_hw)` with k=4, s=2, p=1.
+pub const LAYERS: [(usize, usize, usize); 4] = [(1024, 512, 4), (512, 256, 8), (256, 128, 16), (128, 3, 32)];
+
+/// Functional check: forward matches scatter semantics, backward-input is
+/// the strided convolution. Returns `(forward_rms, backward_rms)` of a
+/// scaled-down instance (channel counts divided by `scale`).
+pub fn functional_check(in_c: usize, out_c: usize, hw: usize, scale: usize) -> (f32, f32) {
+    let (ic, oc) = ((in_c / scale).max(1), (out_c / scale).max(1));
+    let mut rng = init::seeded_rng(42);
+    let x = init::uniform(Shape4::new(1, ic, hw, hw), -1.0, 1.0, &mut rng);
+    let w = init::normal(Shape4::new(ic, oc, 4, 4), 0.05, &mut rng);
+
+    // Forward: zero-insertion path (the library implementation) vs direct
+    // scatter reference.
+    let fwd = ops::conv_transpose2d(&x, &w, None, 2, 1);
+    let mut reference = Tensor::zeros(fwd.shape());
+    for n in 0..1 {
+        for ci in 0..ic {
+            for iy in 0..hw {
+                for ix in 0..hw {
+                    let v = x.at(n, ci, iy, ix);
+                    for co in 0..oc {
+                        for ky in 0..4usize {
+                            let oy = (iy * 2 + ky) as isize - 1;
+                            if oy < 0 || oy >= fwd.shape().h as isize {
+                                continue;
+                            }
+                            for kx in 0..4usize {
+                                let ox = (ix * 2 + kx) as isize - 1;
+                                if ox < 0 || ox >= fwd.shape().w as isize {
+                                    continue;
+                                }
+                                reference.add_at(
+                                    n,
+                                    co,
+                                    oy as usize,
+                                    ox as usize,
+                                    v * w.at(ci, co, ky, kx),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let fwd_rms = (fwd.squared_distance(&reference) / fwd.len() as f32).sqrt();
+
+    // Backward: library backward-input vs explicit strided conv2d of the
+    // upstream gradient with the kernel (Fig. 7(b)).
+    let g = init::uniform(fwd.shape(), -1.0, 1.0, &mut rng);
+    let bwd = ops::conv_transpose2d_backward_input(&g, &w, 2, 1);
+    let strided = ops::conv2d(&g, &w, None, 2, 1);
+    let bwd_rms = (bwd.squared_distance(&strided) / bwd.len() as f32).sqrt();
+    (fwd_rms, bwd_rms)
+}
+
+/// Crossbar mapping cost of one FCNN layer treated as a convolution over
+/// the dilated feature map.
+pub fn mapping_cost(in_c: usize, out_c: usize, hw: usize) -> LayerMapping {
+    let spec = LayerSpec::FracConv {
+        in_c,
+        out_c,
+        k: 4,
+        stride: 2,
+        pad: 1,
+        in_h: hw,
+        in_w: hw,
+    };
+    LayerMapping::map(
+        &spec,
+        &AcceleratorConfig::default(),
+        MappingScheme::Balanced { replication: 1 },
+    )
+}
+
+/// Runs the full experiment.
+pub fn run() -> Table {
+    let mut t = Table::new([
+        "FCNN layer",
+        "out hw",
+        "fwd==scatter rms",
+        "bwd==strided-conv rms",
+        "crossbar grid",
+        "MVMs/input",
+    ]);
+    for (ic, oc, hw) in LAYERS {
+        let (f, b) = functional_check(ic, oc, hw, 64);
+        let m = mapping_cost(ic, oc, hw);
+        t.row([
+            format!("{ic}->{oc} @ {hw}x{hw}"),
+            format!("{}", hw * 2),
+            format!("{f:.2e}"),
+            format!("{b:.2e}"),
+            format!("{} x {}", m.row_tiles, m.col_tiles),
+            m.mvms_per_input.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_insertion_equals_scatter() {
+        for (ic, oc, hw) in LAYERS {
+            let (f, _) = functional_check(ic, oc, hw, 128);
+            assert!(f < 1e-4, "{ic}->{oc}@{hw}: fwd rms {f}");
+        }
+    }
+
+    #[test]
+    fn backward_is_strided_convolution() {
+        for (ic, oc, hw) in LAYERS {
+            let (_, b) = functional_check(ic, oc, hw, 128);
+            assert!(b < 1e-4, "{ic}->{oc}@{hw}: bwd rms {b}");
+        }
+    }
+
+    #[test]
+    fn fcnn_mvm_count_is_upsampled_positions() {
+        // One MVM per OUTPUT position of the up-sampled map.
+        let m = mapping_cost(256, 128, 16);
+        assert_eq!(m.mvms_per_input, 32 * 32);
+    }
+
+    #[test]
+    fn run_covers_generator() {
+        assert_eq!(run().len(), LAYERS.len());
+    }
+}

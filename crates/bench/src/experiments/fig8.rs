@@ -1,0 +1,110 @@
+//! E4 — Fig. 8: the ReGAN GAN training pipeline.
+//!
+//! Sweeps discriminator/generator depths and batch sizes, comparing the
+//! event-driven schedule simulation against the paper's cycle formulas for
+//! training D and training G, with and without the pipeline.
+
+use crate::Table;
+use reram_core::{ReganOpt, ReganPipeline};
+
+/// Swept `(L_D, L_G, B)` configurations (DCGAN-class depths).
+pub const CONFIGS: [(usize, usize, usize); 5] =
+    [(4, 4, 8), (4, 4, 32), (4, 4, 128), (5, 5, 64), (8, 6, 64)];
+
+/// One measured row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReganRow {
+    /// Discriminator depth.
+    pub l_d: usize,
+    /// Generator depth.
+    pub l_g: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// D-update cycles, pipelined.
+    pub d_pipelined: u64,
+    /// G-update cycles, pipelined.
+    pub g_pipelined: u64,
+    /// D-update cycles, no pipeline.
+    pub d_sequential: u64,
+    /// G-update cycles, no pipeline.
+    pub g_sequential: u64,
+    /// Simulated full-iteration cycles, pipelined.
+    pub simulated_iteration: u64,
+}
+
+/// Measures one configuration.
+pub fn measure(l_d: usize, l_g: usize, batch: usize) -> ReganRow {
+    let p = ReganPipeline::new(l_d, l_g, batch);
+    ReganRow {
+        l_d,
+        l_g,
+        batch,
+        d_pipelined: p.d_training_cycles(ReganOpt::Pipeline),
+        g_pipelined: p.g_training_cycles(ReganOpt::Pipeline),
+        d_sequential: p.d_training_cycles(ReganOpt::NoPipeline),
+        g_sequential: p.g_training_cycles(ReganOpt::NoPipeline),
+        simulated_iteration: p.simulate_iteration(ReganOpt::Pipeline),
+    }
+}
+
+/// Runs the full experiment.
+pub fn run() -> Table {
+    let mut t = Table::new([
+        "L_D",
+        "L_G",
+        "B",
+        "train D (pipe)",
+        "train G (pipe)",
+        "train D (seq)",
+        "train G (seq)",
+        "iter sim",
+        "pipe speedup",
+    ]);
+    for (l_d, l_g, b) in CONFIGS {
+        let r = measure(l_d, l_g, b);
+        let seq = r.d_sequential + r.g_sequential;
+        let pipe = r.d_pipelined + r.g_pipelined;
+        t.row([
+            r.l_d.to_string(),
+            r.l_g.to_string(),
+            r.batch.to_string(),
+            r.d_pipelined.to_string(),
+            r.g_pipelined.to_string(),
+            r.d_sequential.to_string(),
+            r.g_sequential.to_string(),
+            r.simulated_iteration.to_string(),
+            crate::table::ratio(seq as f64 / pipe as f64),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formulas_match_paper() {
+        for (l_d, l_g, b) in CONFIGS {
+            let r = measure(l_d, l_g, b);
+            let (ld, lg, bb) = (l_d as u64, l_g as u64, b as u64);
+            assert_eq!(r.d_pipelined, (2 * ld + bb) + (lg + 2 * ld + bb) + 1);
+            assert_eq!(r.g_pipelined, 2 * lg + 2 * ld + bb + 1);
+            assert_eq!(r.d_sequential, (4 * ld + lg + 2) * bb);
+            assert_eq!(r.g_sequential, (2 * lg + 2 * ld + 1) * bb);
+        }
+    }
+
+    #[test]
+    fn simulation_matches_sum() {
+        for (l_d, l_g, b) in CONFIGS {
+            let r = measure(l_d, l_g, b);
+            assert_eq!(r.simulated_iteration, r.d_pipelined + r.g_pipelined);
+        }
+    }
+
+    #[test]
+    fn run_covers_sweep() {
+        assert_eq!(run().len(), CONFIGS.len());
+    }
+}

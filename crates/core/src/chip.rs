@@ -1,0 +1,209 @@
+//! Chip-level organization: banks, capacity and power provisioning.
+//!
+//! Fig. 6 / Fig. 10 describe one memory bank; a whole accelerator is many
+//! such banks. [`ChipPlan`] turns a network mapping into a bank-level
+//! floorplan and checks the constraint the inter-layer pipeline implies but
+//! the paper leaves implicit: with `2L + 1` stages in flight, every layer's
+//! forward activations must stay resident in memory subarrays until its
+//! backward stage consumes them, so the memory region must hold roughly one
+//! activation tensor per stage per in-flight input.
+
+use crate::mapping::map_network;
+use crate::timing::NetworkTiming;
+use crate::AcceleratorConfig;
+use reram_nn::NetworkSpec;
+use serde::{Deserialize, Serialize};
+
+/// Fixed shape of one memory bank.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BankShape {
+    /// Morphable (compute-capable) subarrays per bank.
+    pub morphable_per_bank: usize,
+    /// Memory subarrays per bank.
+    pub memory_per_bank: usize,
+    /// Capacity of one memory subarray, bytes.
+    pub memory_subarray_bytes: u64,
+}
+
+impl Default for BankShape {
+    fn default() -> Self {
+        Self {
+            // A bank the size of Fig. 6's sketch: mostly compute, with a
+            // memory region sized like a DRAM mat.
+            morphable_per_bank: 64,
+            memory_per_bank: 32,
+            memory_subarray_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// A chip-level provisioning plan for one network.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipPlan {
+    /// Workload name.
+    pub network: String,
+    /// Bank geometry used.
+    pub bank: BankShape,
+    /// Crossbar arrays required by the mapping (all layers, with
+    /// replication and differential pairs).
+    pub compute_arrays: usize,
+    /// Banks needed to host the compute arrays.
+    pub banks: usize,
+    /// Bytes of activation storage the training pipeline keeps resident.
+    pub resident_activation_bytes: u64,
+    /// Memory-subarray bytes available across the provisioned banks.
+    pub memory_capacity_bytes: u64,
+    /// Crossbar array area, mm².
+    pub array_area_mm2: f64,
+    /// Peak power while training at full throughput, watts.
+    pub peak_power_w: f64,
+}
+
+/// Bytes per stored activation element (16-bit fixed point).
+const BYTES_PER_ELEM: u64 = 2;
+
+impl ChipPlan {
+    /// Plans a chip for training `net` at batch size `batch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid, the network has no weighted
+    /// layers, or `batch == 0`.
+    pub fn plan(
+        net: &NetworkSpec,
+        config: &AcceleratorConfig,
+        bank: BankShape,
+        batch: usize,
+    ) -> Self {
+        assert!(batch > 0, "batch size must be positive");
+        assert!(
+            bank.morphable_per_bank > 0 && bank.memory_per_bank > 0,
+            "bank must contain subarrays"
+        );
+        let mappings = map_network(net, config);
+        let timing = NetworkTiming::analyze(net, config);
+        let compute_arrays: usize = mappings.iter().map(|m| m.arrays).sum();
+        let banks = compute_arrays.div_ceil(bank.morphable_per_bank);
+
+        // In-flight residency: within one batch window the pipeline holds
+        // up to min(B, 2L+1) inputs, and each weighted layer's forward
+        // output stays buffered until the matching backward stage reads it.
+        let l = net.weighted_layer_count();
+        let in_flight = batch.min(2 * l + 1) as u64;
+        let act_elems: u64 = net
+            .weighted_layers()
+            .map(|layer| layer.output_elems() as u64)
+            .sum();
+        let resident = act_elems * BYTES_PER_ELEM * in_flight;
+
+        // Peak power: every array active, amortized per MVM.
+        let mvm = config.cost.mvm_cost(&config.crossbar, config.activity);
+        let per_array_w = mvm.energy_pj() * 1e-12 / (mvm.latency_ns * 1e-9);
+        Self {
+            network: net.name.clone(),
+            bank,
+            compute_arrays,
+            banks,
+            resident_activation_bytes: resident,
+            memory_capacity_bytes: banks as u64
+                * bank.memory_per_bank as u64
+                * bank.memory_subarray_bytes,
+            array_area_mm2: timing.area_mm2,
+            peak_power_w: compute_arrays as f64 * per_array_w,
+        }
+    }
+
+    /// Whether the provisioned memory subarrays can hold the pipeline's
+    /// resident activations.
+    pub fn memory_fits(&self) -> bool {
+        self.resident_activation_bytes <= self.memory_capacity_bytes
+    }
+
+    /// Fraction of provisioned memory capacity the pipeline occupies.
+    pub fn memory_utilization(&self) -> f64 {
+        self.resident_activation_bytes as f64 / self.memory_capacity_bytes as f64
+    }
+
+    /// Additional banks (beyond the compute-driven count) needed to fit the
+    /// resident activations, if any.
+    pub fn extra_memory_banks(&self) -> usize {
+        if self.memory_fits() {
+            return 0;
+        }
+        let per_bank = self.bank.memory_per_bank as u64 * self.bank.memory_subarray_bytes;
+        let deficit = self.resident_activation_bytes - self.memory_capacity_bytes;
+        deficit.div_ceil(per_bank) as usize
+    }
+
+    /// Total banks including any extra memory-only banks.
+    pub fn total_banks(&self) -> usize {
+        self.banks + self.extra_memory_banks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reram_nn::models;
+
+    fn plan(net: &NetworkSpec, batch: usize) -> ChipPlan {
+        ChipPlan::plan(net, &AcceleratorConfig::default(), BankShape::default(), batch)
+    }
+
+    #[test]
+    fn lenet_fits_comfortably() {
+        let p = plan(&models::lenet_spec(), 32);
+        assert!(p.banks >= 1);
+        assert!(p.memory_fits(), "LeNet activations must fit: {p:?}");
+        assert_eq!(p.extra_memory_banks(), 0);
+        assert_eq!(p.total_banks(), p.banks);
+    }
+
+    #[test]
+    fn vgg_needs_many_banks() {
+        let p = plan(&models::vgg_a_spec(), 32);
+        assert!(p.banks > 100, "VGG banks {}", p.banks);
+        assert!(p.compute_arrays > 100_000);
+        assert!(p.peak_power_w > 10.0);
+    }
+
+    #[test]
+    fn residency_grows_with_batch_until_pipeline_depth() {
+        let net = models::lenet_spec();
+        let p1 = plan(&net, 1);
+        let p8 = plan(&net, 8);
+        let p64 = plan(&net, 64);
+        let p128 = plan(&net, 128);
+        assert!(p8.resident_activation_bytes > p1.resident_activation_bytes);
+        // L = 5 -> pipeline holds at most 11 inputs; B beyond that adds
+        // nothing.
+        assert_eq!(
+            p64.resident_activation_bytes,
+            p128.resident_activation_bytes
+        );
+    }
+
+    #[test]
+    fn utilization_consistent_with_fits() {
+        let p = plan(&models::alexnet_spec(), 32);
+        if p.memory_fits() {
+            assert!(p.memory_utilization() <= 1.0);
+        } else {
+            assert!(p.memory_utilization() > 1.0);
+            assert!(p.extra_memory_banks() > 0);
+        }
+    }
+
+    #[test]
+    fn banks_cover_arrays() {
+        let p = plan(&models::mnist_deep_spec(), 32);
+        assert!(p.banks * p.bank.morphable_per_bank >= p.compute_arrays);
+        assert!((p.banks - 1) * p.bank.morphable_per_bank < p.compute_arrays);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn rejects_zero_batch() {
+        let _ = plan(&models::lenet_spec(), 0);
+    }
+}

@@ -1,0 +1,589 @@
+//! Compilation of network layers into bank control programs.
+//!
+//! The paper's control unit "offloads the computation from the host CPU and
+//! orchestrates the data transfers between memory subarrays and morphable
+//! subarrays in training and testing based on the algorithm configurations"
+//! (§III-A.3 (e)). This module is that orchestration for the inference
+//! path: given a stack of fully connected layers (weights + activation), it
+//! emits the [`Instruction`] sequence that programs the morphable
+//! subarrays, morphs them into compute mode, and chains each input vector
+//! through the layers via memory subarrays — then executes it on a
+//! [`Bank`].
+
+use crate::isa::{Instruction, SubarrayMode};
+use crate::subarray::Bank;
+use reram_crossbar::CrossbarConfig;
+use reram_nn::activations::Activation;
+use reram_tensor::Matrix;
+
+/// One compiled layer: a weight matrix and an optional fused activation.
+#[derive(Debug, Clone)]
+pub struct FcStage {
+    /// Weight matrix `(out × in)`.
+    pub weights: Matrix,
+    /// Peripheral activation applied on the bitline outputs.
+    pub activation: Option<Activation>,
+}
+
+impl FcStage {
+    /// Creates a stage.
+    pub fn new(weights: Matrix, activation: Option<Activation>) -> Self {
+        Self {
+            weights,
+            activation,
+        }
+    }
+}
+
+/// A compiled inference program and the bank sized to run it.
+#[derive(Debug)]
+pub struct CompiledMlp {
+    stages: Vec<FcStage>,
+    bank: Bank,
+    setup_done: bool,
+}
+
+impl CompiledMlp {
+    /// Compiles an MLP onto a fresh bank: one morphable subarray per layer,
+    /// two memory subarrays used as ping-pong activation buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty or consecutive layer shapes are
+    /// incompatible.
+    pub fn compile(stages: Vec<FcStage>, config: &CrossbarConfig) -> Self {
+        assert!(!stages.is_empty(), "cannot compile an empty network");
+        for w in stages.windows(2) {
+            assert_eq!(
+                w[1].weights.cols(),
+                w[0].weights.rows(),
+                "layer output {} does not feed next layer input {}",
+                w[0].weights.rows(),
+                w[1].weights.cols()
+            );
+        }
+        let bank = Bank::new(stages.len(), 2, config);
+        Self {
+            stages,
+            bank,
+            setup_done: false,
+        }
+    }
+
+    /// Number of compiled layers.
+    pub fn depth(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Input vector length.
+    pub fn input_len(&self) -> usize {
+        self.stages[0].weights.cols()
+    }
+
+    /// Output vector length.
+    pub fn output_len(&self) -> usize {
+        self.stages[self.stages.len() - 1].weights.rows()
+    }
+
+    /// The setup program: program every layer's weights and morph its
+    /// subarray into compute mode.
+    pub fn setup_program(&self) -> Vec<Instruction> {
+        let mut prog = Vec::with_capacity(2 * self.stages.len());
+        for (i, stage) in self.stages.iter().enumerate() {
+            prog.push(Instruction::Program {
+                subarray: i,
+                weights: stage.weights.clone(),
+            });
+            prog.push(Instruction::SetMode {
+                subarray: i,
+                mode: SubarrayMode::Compute,
+            });
+        }
+        prog
+    }
+
+    /// The per-input program: load the vector, chain it through every layer
+    /// alternating the two activation buffers, read the result back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.input_len()`.
+    pub fn inference_program(&self, input: &[f32]) -> Vec<Instruction> {
+        assert_eq!(
+            input.len(),
+            self.input_len(),
+            "input length {} vs expected {}",
+            input.len(),
+            self.input_len()
+        );
+        let mut prog = vec![Instruction::LoadMem {
+            mem: 0,
+            data: input.to_vec(),
+        }];
+        for (i, stage) in self.stages.iter().enumerate() {
+            prog.push(Instruction::Compute {
+                subarray: i,
+                src_mem: i % 2,
+                dst_mem: (i + 1) % 2,
+                activation: stage.activation,
+            });
+        }
+        prog.push(Instruction::ReadMem {
+            mem: self.stages.len() % 2,
+        });
+        prog
+    }
+
+    /// Runs one input through the compiled network on the bank.
+    ///
+    /// The setup program runs lazily before the first input.
+    pub fn infer(&mut self, input: &[f32]) -> Vec<f32> {
+        if !self.setup_done {
+            let setup = self.setup_program();
+            let _ = self.bank.run(setup);
+            self.setup_done = true;
+        }
+        let prog = self.inference_program(input);
+        let mut out = self.bank.run(prog);
+        out.pop().expect("inference program ends with a read")
+    }
+
+    /// Reference result computed in floating point (no crossbar).
+    pub fn infer_exact(&self, input: &[f32]) -> Vec<f32> {
+        let mut x = input.to_vec();
+        for stage in &self.stages {
+            x = stage.weights.matvec(&x);
+            if let Some(a) = stage.activation {
+                for v in &mut x {
+                    *v = a.apply(*v);
+                }
+            }
+        }
+        x
+    }
+
+    /// Bank statistics accumulated so far.
+    pub fn stats(&self) -> crate::subarray::BankStats {
+        self.bank.stats()
+    }
+}
+
+/// An MLP trained *on the bank*: forward MVMs and error back-propagation
+/// both execute as bank instructions on the morphable subarrays (forward
+/// grid + transposed grid per layer), with the control unit holding the
+/// master weights and issuing [`Instruction::ProgramTraining`] updates —
+/// the complete "testing and training" support the paper's abstract claims.
+///
+/// Activations are restricted to ReLU (or none): its derivative is
+/// recoverable from the stored post-activation values, so the bank only
+/// buffers each stage's output, exactly as Fig. 5(a)'s memory subarrays do.
+#[derive(Debug)]
+pub struct TrainableMlp {
+    weights: Vec<Matrix>,
+    relu: Vec<bool>,
+    bank: Bank,
+    setup_needed: bool,
+}
+
+impl TrainableMlp {
+    /// Compiles a trainable MLP. `layers` gives each layer's weights and
+    /// whether a ReLU follows it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or consecutive shapes are incompatible.
+    pub fn compile(layers: Vec<(Matrix, bool)>, config: &CrossbarConfig) -> Self {
+        assert!(!layers.is_empty(), "cannot compile an empty network");
+        for w in layers.windows(2) {
+            assert_eq!(
+                w[1].0.cols(),
+                w[0].0.rows(),
+                "layer output {} does not feed next layer input {}",
+                w[0].0.rows(),
+                w[1].0.cols()
+            );
+        }
+        // Memory map: slot i = activation entering layer i (slot 0 = input,
+        // slot L = network output), slots L+1/L+2 = error ping-pong.
+        let depth = layers.len();
+        let bank = Bank::new(depth, depth + 3, config);
+        Self {
+            weights: layers.iter().map(|(w, _)| w.clone()).collect(),
+            relu: layers.iter().map(|&(_, r)| r).collect(),
+            bank,
+            setup_needed: true,
+        }
+    }
+
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The control unit's master copy of layer `i`'s weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn weights(&self, i: usize) -> &Matrix {
+        &self.weights[i]
+    }
+
+    /// Bank statistics accumulated so far.
+    pub fn stats(&self) -> crate::subarray::BankStats {
+        self.bank.stats()
+    }
+
+    fn ensure_setup(&mut self) {
+        if !self.setup_needed {
+            return;
+        }
+        for (i, w) in self.weights.iter().enumerate() {
+            self.bank.execute(Instruction::ProgramTraining {
+                subarray: i,
+                weights: w.clone(),
+            });
+            self.bank.execute(Instruction::SetMode {
+                subarray: i,
+                mode: SubarrayMode::Compute,
+            });
+        }
+        self.setup_needed = false;
+    }
+
+    /// Forward pass on the bank, leaving every stage's activation in its
+    /// memory subarray. Returns the network output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len()` differs from the first layer's width.
+    pub fn forward(&mut self, input: &[f32]) -> Vec<f32> {
+        assert_eq!(input.len(), self.weights[0].cols(), "input length");
+        self.ensure_setup();
+        self.bank.execute(Instruction::LoadMem {
+            mem: 0,
+            data: input.to_vec(),
+        });
+        for i in 0..self.depth() {
+            self.bank.execute(Instruction::Compute {
+                subarray: i,
+                src_mem: i,
+                dst_mem: i + 1,
+                activation: if self.relu[i] {
+                    Some(Activation::Relu)
+                } else {
+                    None
+                },
+            });
+        }
+        self.bank
+            .execute(Instruction::ReadMem {
+                mem: self.depth(),
+            })
+            .expect("read returns data")
+    }
+
+    /// One SGD training step on `(input, target)` under mean-squared error.
+    /// Returns the loss before the update.
+    ///
+    /// The forward pass and every error-propagation product run on the
+    /// bank; the control unit computes the loss gradient, masks it by the
+    /// ReLU derivative (recovered from the buffered activations), forms the
+    /// weight-gradient outer products, and writes the tuned weights back
+    /// with `ProgramTraining`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target.len()` differs from the output width.
+    pub fn train_step(&mut self, input: &[f32], target: &[f32], lr: f32) -> f32 {
+        let depth = self.depth();
+        let out = self.forward(input);
+        assert_eq!(target.len(), out.len(), "target length");
+        let n = out.len() as f32;
+        let loss: f32 = out
+            .iter()
+            .zip(target)
+            .map(|(y, t)| (y - t) * (y - t))
+            .sum::<f32>()
+            / n;
+
+        // Error at the output (dL/dy for MSE), held in the error slots.
+        let err_a = depth + 1;
+        let err_b = depth + 2;
+        let mut grads: Vec<Matrix> = Vec::with_capacity(depth);
+        let mut error: Vec<f32> = out
+            .iter()
+            .zip(target)
+            .map(|(y, t)| 2.0 * (y - t) / n)
+            .collect();
+
+        for i in (0..depth).rev() {
+            // Activation of this layer's output (slot i+1) for the ReLU
+            // derivative, and its input (slot i) for the weight gradient.
+            let out_act = self
+                .bank
+                .execute(Instruction::ReadMem { mem: i + 1 })
+                .expect("activation buffered");
+            if self.relu[i] {
+                for (e, &a) in error.iter_mut().zip(&out_act) {
+                    if a <= 0.0 {
+                        *e = 0.0;
+                    }
+                }
+            }
+            let in_act = self
+                .bank
+                .execute(Instruction::ReadMem { mem: i })
+                .expect("activation buffered");
+            // Weight gradient: e ⊗ x (control-unit outer-product logic).
+            let w = &self.weights[i];
+            let mut grad = Matrix::zeros(w.shape());
+            for r in 0..w.rows() {
+                for c in 0..w.cols() {
+                    grad.set(r, c, error[r] * in_act[c]);
+                }
+            }
+            grads.push(grad);
+            // Propagate the error through the transposed grid on the bank.
+            if i > 0 {
+                self.bank.execute(Instruction::LoadMem {
+                    mem: err_a,
+                    data: error.clone(),
+                });
+                self.bank.execute(Instruction::ComputeTransposed {
+                    subarray: i,
+                    src_mem: err_a,
+                    dst_mem: err_b,
+                });
+                error = self
+                    .bank
+                    .execute(Instruction::ReadMem { mem: err_b })
+                    .expect("propagated error");
+            }
+        }
+
+        // Weight update cycle: tune the weights and rewrite both grids.
+        grads.reverse();
+        for (i, grad) in grads.iter().enumerate() {
+            for (w, g) in self.weights[i].data_mut().iter_mut().zip(grad.data()) {
+                *w -= lr * g;
+            }
+            self.bank.execute(Instruction::ProgramTraining {
+                subarray: i,
+                weights: self.weights[i].clone(),
+            });
+        }
+        loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reram_tensor::Shape2;
+
+    fn stage(out: usize, inp: usize, act: Option<Activation>, salt: usize) -> FcStage {
+        FcStage::new(
+            Matrix::from_fn(Shape2::new(out, inp), |r, c| {
+                (((r * 7 + c * 5 + salt) % 13) as f32 - 6.0) / 8.0
+            }),
+            act,
+        )
+    }
+
+    fn mlp() -> CompiledMlp {
+        CompiledMlp::compile(
+            vec![
+                stage(10, 8, Some(Activation::Relu), 1),
+                stage(6, 10, Some(Activation::Relu), 2),
+                stage(3, 6, None, 3),
+            ],
+            &CrossbarConfig::default(),
+        )
+    }
+
+    #[test]
+    fn shapes_and_depth() {
+        let m = mlp();
+        assert_eq!(m.depth(), 3);
+        assert_eq!(m.input_len(), 8);
+        assert_eq!(m.output_len(), 3);
+    }
+
+    #[test]
+    fn setup_program_structure() {
+        let m = mlp();
+        let setup = m.setup_program();
+        assert_eq!(setup.len(), 6); // program + set_mode per layer
+        assert!(matches!(setup[0], Instruction::Program { subarray: 0, .. }));
+        assert!(matches!(
+            setup[5],
+            Instruction::SetMode {
+                subarray: 2,
+                mode: SubarrayMode::Compute
+            }
+        ));
+    }
+
+    #[test]
+    fn inference_matches_exact_within_quantization() {
+        let mut m = mlp();
+        for k in 0..4 {
+            let input: Vec<f32> = (0..8).map(|i| ((i + k) % 5) as f32 / 5.0 - 0.4).collect();
+            let got = m.infer(&input);
+            let want = m.infer_exact(&input);
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g - w).abs() < 0.05, "{g} vs {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_buffers_alternate() {
+        let m = mlp();
+        let prog = m.inference_program(&[0.0; 8]);
+        // load -> compute(0->1) -> compute(1->0) -> compute(0->1) -> read(1)
+        assert!(matches!(prog[1], Instruction::Compute { src_mem: 0, dst_mem: 1, .. }));
+        assert!(matches!(prog[2], Instruction::Compute { src_mem: 1, dst_mem: 0, .. }));
+        assert!(matches!(prog[3], Instruction::Compute { src_mem: 0, dst_mem: 1, .. }));
+        assert!(matches!(prog[4], Instruction::ReadMem { mem: 1 }));
+    }
+
+    #[test]
+    fn stats_accumulate_per_inference() {
+        let mut m = mlp();
+        let _ = m.infer(&[0.1; 8]);
+        let after_one = m.stats();
+        let _ = m.infer(&[0.2; 8]);
+        let after_two = m.stats();
+        assert_eq!(after_one.mvms, 3);
+        assert_eq!(after_two.mvms, 6);
+        assert_eq!(after_two.programs, 3); // setup only once
+    }
+
+    #[test]
+    #[should_panic(expected = "does not feed")]
+    fn rejects_mismatched_layers() {
+        let _ = CompiledMlp::compile(
+            vec![stage(10, 8, None, 1), stage(6, 9, None, 2)],
+            &CrossbarConfig::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty network")]
+    fn rejects_empty() {
+        let _ = CompiledMlp::compile(vec![], &CrossbarConfig::default());
+    }
+
+    fn trainable() -> TrainableMlp {
+        TrainableMlp::compile(
+            vec![
+                (
+                    Matrix::from_fn(Shape2::new(6, 4), |r, c| {
+                        (((r * 7 + c * 5) % 11) as f32 - 5.0) / 10.0
+                    }),
+                    true,
+                ),
+                (
+                    Matrix::from_fn(Shape2::new(2, 6), |r, c| {
+                        (((r * 3 + c * 7 + 1) % 11) as f32 - 5.0) / 10.0
+                    }),
+                    false,
+                ),
+            ],
+            &CrossbarConfig::default(),
+        )
+    }
+
+    #[test]
+    fn trainable_forward_matches_host_math() {
+        let mut m = trainable();
+        let x = [0.4f32, -0.2, 0.1, 0.3];
+        let y = m.forward(&x);
+        // Host reference.
+        let h: Vec<f32> = m.weights(0).matvec(&x).iter().map(|v| v.max(0.0)).collect();
+        let want = m.weights(1).matvec(&h);
+        for (a, b) in y.iter().zip(&want) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn bank_training_reduces_loss() {
+        let mut m = trainable();
+        let x = [0.4f32, -0.2, 0.1, 0.3];
+        let target = [0.5f32, -0.25];
+        let first = m.train_step(&x, &target, 0.2);
+        let mut last = first;
+        for _ in 0..30 {
+            last = m.train_step(&x, &target, 0.2);
+        }
+        assert!(
+            last < first * 0.2,
+            "bank-level training failed to descend: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn bank_training_tracks_float_training() {
+        // Train the same network host-side in f32; both trajectories end
+        // near the target.
+        let mut m = trainable();
+        let mut w0 = m.weights(0).clone();
+        let mut w1 = m.weights(1).clone();
+        let x = [0.4f32, -0.2, 0.1, 0.3];
+        let target = [0.5f32, -0.25];
+        for _ in 0..30 {
+            let _ = m.train_step(&x, &target, 0.2);
+            // Host-side reference step.
+            let h_pre = w0.matvec(&x);
+            let h: Vec<f32> = h_pre.iter().map(|v| v.max(0.0)).collect();
+            let y = w1.matvec(&h);
+            let n = y.len() as f32;
+            let e1: Vec<f32> = y.iter().zip(&target).map(|(a, b)| 2.0 * (a - b) / n).collect();
+            let mut g1 = Matrix::zeros(w1.shape());
+            for r in 0..w1.rows() {
+                for c in 0..w1.cols() {
+                    g1.set(r, c, e1[r] * h[c]);
+                }
+            }
+            let mut e0 = w1.transposed().matvec(&e1);
+            for (e, &p) in e0.iter_mut().zip(&h_pre) {
+                if p <= 0.0 {
+                    *e = 0.0;
+                }
+            }
+            let mut g0 = Matrix::zeros(w0.shape());
+            for r in 0..w0.rows() {
+                for c in 0..w0.cols() {
+                    g0.set(r, c, e0[r] * x[c]);
+                }
+            }
+            for (w, g) in w1.data_mut().iter_mut().zip(g1.data()) {
+                *w -= 0.2 * g;
+            }
+            for (w, g) in w0.data_mut().iter_mut().zip(g0.data()) {
+                *w -= 0.2 * g;
+            }
+        }
+        // Final outputs of both within a small band of the target.
+        let y_bank = m.forward(&x);
+        let h: Vec<f32> = w0.matvec(&x).iter().map(|v| v.max(0.0)).collect();
+        let y_host = w1.matvec(&h);
+        for i in 0..2 {
+            assert!((y_bank[i] - target[i]).abs() < 0.1, "bank {} vs {}", y_bank[i], target[i]);
+            assert!((y_host[i] - target[i]).abs() < 0.1, "host {} vs {}", y_host[i], target[i]);
+        }
+    }
+
+    #[test]
+    fn training_issues_program_instructions() {
+        let mut m = trainable();
+        let _ = m.train_step(&[0.1; 4], &[0.0, 0.0], 0.1);
+        // Setup: 2 ProgramTraining (x2 grids each) + per-step 2 more.
+        assert!(m.stats().programs >= 8);
+        assert!(m.stats().mvms >= 3); // 2 forward + 1 transposed
+    }
+}

@@ -1,0 +1,74 @@
+use crate::mapping::ReplicationPolicy;
+use reram_crossbar::{CrossbarConfig, CrossbarCostModel};
+use serde::{Deserialize, Serialize};
+
+/// Top-level configuration of a PIM accelerator instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct AcceleratorConfig {
+    /// Crossbar geometry and precision.
+    pub crossbar: CrossbarConfig,
+    /// Circuit-level latency/energy/area parameters.
+    pub cost: CrossbarCostModel,
+    /// Weight replication policy (the `X` of Fig. 4(b)).
+    pub replication: ReplicationPolicy,
+    /// Average input spike activity used for energy estimates.
+    pub activity: f64,
+}
+
+impl AcceleratorConfig {
+    /// Default configuration: 128×128 arrays, 16-bit weights/inputs, and a
+    /// per-layer array budget sized like PipeLayer's evaluation setup.
+    pub fn new() -> Self {
+        Self {
+            crossbar: CrossbarConfig::default(),
+            cost: CrossbarCostModel::default(),
+            replication: ReplicationPolicy::default(),
+            activity: 0.5,
+        }
+    }
+
+    /// Same configuration with a different replication policy.
+    pub fn with_replication(mut self, replication: ReplicationPolicy) -> Self {
+        self.replication = replication;
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        self.crossbar.validate()?;
+        if !(0.0..=1.0).contains(&self.activity) {
+            return Err(format!("activity {} outside [0, 1]", self.activity));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        assert_eq!(AcceleratorConfig::default().validate(), Ok(()));
+        assert_eq!(AcceleratorConfig::new().validate(), Ok(()));
+    }
+
+    #[test]
+    fn bad_activity_rejected() {
+        let c = AcceleratorConfig {
+            activity: 2.0,
+            ..AcceleratorConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn with_replication_sets_policy() {
+        let c = AcceleratorConfig::default().with_replication(ReplicationPolicy::Fixed(4));
+        assert_eq!(c.replication, ReplicationPolicy::Fixed(4));
+    }
+}

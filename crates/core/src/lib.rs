@@ -1,0 +1,66 @@
+//! PipeLayer and ReGAN: ReRAM processing-in-memory accelerator models.
+//!
+//! This crate is the paper's primary contribution (§III): two accelerator
+//! architectures built from ReRAM crossbar subarrays that support the
+//! *complete* execution of deep learning — inference and training — in
+//! memory.
+//!
+//! * [`subarray`] — the memory organization of Fig. 6 / Fig. 10: morphable
+//!   (full-function) subarrays that flip between memory and compute modes,
+//!   plain memory subarrays for intermediate results, buffer subarrays with
+//!   private ports, and the per-bank control unit with its instruction set,
+//! * [`mapping`] — the data input and kernel mapping schemes of Fig. 4:
+//!   the naïve scheme, the balanced partitioned scheme, and weight
+//!   replication with factor `X` for intra-layer parallelism,
+//! * [`pipeline`] — the inter-layer training pipeline of Fig. 5, as both
+//!   closed-form cycle counts and a cycle-stepped simulator that is checked
+//!   against them,
+//! * [`regan`] — the GAN training pipeline of Fig. 8 with the spatial
+//!   parallelism (SP) and computation sharing (CS) optimizations of Fig. 9,
+//! * [`timing`] — conversion of pipeline macro-cycles into wall-clock time
+//!   and energy through the crossbar circuit cost model,
+//! * [`accelerator`] — end-to-end evaluation producing the speedup /
+//!   energy-saving comparisons of Table I against the GPU baseline.
+//!
+//! # Example
+//!
+//! ```
+//! use reram_core::accelerator::PipeLayerAccelerator;
+//! use reram_core::AcceleratorConfig;
+//! use reram_gpu::GpuModel;
+//! use reram_nn::models;
+//!
+//! let net = models::lenet_spec();
+//! let accel = PipeLayerAccelerator::new(AcceleratorConfig::default());
+//! let report = accel.train_cost(&net, 32, 1024);
+//! let gpu = GpuModel::gtx1080().training_cost(&net, 32).times(1024.0 / 32.0);
+//! assert!(report.time_s < gpu.time_s, "PIM must beat the GPU on training");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Outer-product and matrix-walk loops index several vectors by the same
+// coordinate; explicit indices mirror the equations they implement.
+#![allow(clippy::needless_range_loop)]
+
+pub mod accelerator;
+pub mod chip;
+pub mod compiler;
+pub mod endurance;
+pub mod isa;
+pub mod mapping;
+pub mod pipeline;
+pub mod regan;
+pub mod subarray;
+pub mod timing;
+
+mod config;
+
+pub use accelerator::{AccelReport, PipeLayerAccelerator, ReGanAccelerator};
+pub use chip::{BankShape, ChipPlan};
+pub use compiler::{CompiledMlp, FcStage, TrainableMlp};
+pub use config::AcceleratorConfig;
+pub use endurance::{EnduranceClass, EnduranceReport};
+pub use mapping::{LayerMapping, MappingScheme, ReplicationPolicy};
+pub use pipeline::{PipelineModel, PipelineTrace};
+pub use regan::{ReganOpt, ReganPipeline};

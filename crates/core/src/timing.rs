@@ -1,0 +1,251 @@
+//! Conversion of pipeline macro-cycles into wall-clock time and energy.
+//!
+//! A pipeline "cycle" in the paper's Fig. 5 sense is the time for every
+//! layer stage to process one input. Its duration is set by the slowest
+//! stage: the layer whose (replication-adjusted) sequence of crossbar MVMs
+//! takes longest. Backward stages run two MVM groups per input — the error
+//! propagation through the transposed weights and the weight-gradient
+//! accumulation — so they weigh twice the forward stage. The weight-update
+//! cycle's duration is the array reprogramming time.
+
+use crate::mapping::{map_network, LayerMapping};
+use crate::AcceleratorConfig;
+use reram_nn::NetworkSpec;
+use serde::{Deserialize, Serialize};
+
+/// Bytes per activation element moving through memory subarrays (16-bit
+/// fixed point, matching the default crossbar input precision).
+const BYTES_PER_ELEM: f64 = 2.0;
+
+/// Energy of a training run split by where it is spent.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Forward-pass crossbar MVMs, joules.
+    pub forward_j: f64,
+    /// Backward-pass crossbar MVMs (error + weight-gradient), joules.
+    pub backward_j: f64,
+    /// Memory/buffer subarray traffic, joules.
+    pub buffer_j: f64,
+    /// Weight-array reprogramming, joules.
+    pub update_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy, joules.
+    pub fn total_j(&self) -> f64 {
+        self.forward_j + self.backward_j + self.buffer_j + self.update_j
+    }
+}
+
+/// Static timing/energy analysis of one network on the accelerator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkTiming {
+    /// Per-weighted-layer mappings.
+    pub mappings: Vec<LayerMapping>,
+    /// Duration of a forward-only pipeline cycle, ns (slowest stage).
+    pub forward_cycle_ns: f64,
+    /// Duration of a training pipeline cycle, ns (backward stages dominate).
+    pub training_cycle_ns: f64,
+    /// Duration of the weight-update cycle, ns.
+    pub update_cycle_ns: f64,
+    /// Crossbar energy of one input's forward pass, pJ.
+    pub forward_energy_pj: f64,
+    /// Crossbar energy of one input's backward pass, pJ.
+    pub backward_energy_pj: f64,
+    /// Buffer/memory-subarray energy per input (training), pJ.
+    pub buffer_energy_pj: f64,
+    /// Energy to reprogram all weight arrays once, pJ.
+    pub update_energy_pj: f64,
+    /// Total physical arrays (including replication and differential pairs).
+    pub total_arrays: usize,
+    /// Total silicon area, mm².
+    pub area_mm2: f64,
+}
+
+impl NetworkTiming {
+    /// Analyzes a network under the given accelerator configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has no weighted layers or the configuration is
+    /// invalid.
+    pub fn analyze(net: &NetworkSpec, config: &AcceleratorConfig) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid accelerator config: {e}"));
+        let mappings = map_network(net, config);
+        assert!(
+            !mappings.is_empty(),
+            "network {} has no weighted layers",
+            net.name
+        );
+
+        let forward_cycle_ns = mappings
+            .iter()
+            .map(LayerMapping::stage_latency_ns)
+            .fold(0.0, f64::max);
+        // Backward: error MVM + weight-gradient accumulation = 2 MVM groups.
+        let training_cycle_ns = 2.0 * forward_cycle_ns;
+
+        let (update_latency, _) = config.cost.program_cost(&config.crossbar);
+        let forward_energy_pj: f64 = mappings.iter().map(LayerMapping::forward_energy_pj).sum();
+        let backward_energy_pj = 2.0 * forward_energy_pj;
+
+        // Buffer traffic per input during training: every weighted layer's
+        // output is written once, read by the next stage, and the stored
+        // forward activation is re-read during backward (3 touches).
+        let activation_elems: f64 = net
+            .weighted_layers()
+            .map(|l| l.output_elems() as f64)
+            .sum();
+        let buffer_energy_pj = config
+            .cost
+            .buffer_energy_pj((activation_elems * BYTES_PER_ELEM * 3.0) as u64);
+
+        let total_arrays: usize = mappings.iter().map(|m| m.arrays).sum();
+        let (_, program_energy_per_array) = config.cost.program_cost(&config.crossbar);
+        let update_energy_pj = total_arrays as f64 * program_energy_per_array;
+
+        Self {
+            mappings,
+            forward_cycle_ns,
+            training_cycle_ns,
+            update_cycle_ns: update_latency,
+            forward_energy_pj,
+            backward_energy_pj,
+            buffer_energy_pj,
+            update_energy_pj,
+            total_arrays,
+            area_mm2: config.cost.grid_area_um2(total_arrays) / 1e6,
+        }
+    }
+
+    /// Wall-clock time of `compute_cycles` pipeline cycles plus
+    /// `update_cycles` weight-update cycles, seconds.
+    pub fn cycles_to_seconds(&self, compute_cycles: u64, update_cycles: u64, training: bool) -> f64 {
+        let cycle = if training {
+            self.training_cycle_ns
+        } else {
+            self.forward_cycle_ns
+        };
+        (compute_cycles as f64 * cycle + update_cycles as f64 * self.update_cycle_ns) * 1e-9
+    }
+
+    /// Crossbar + buffer energy of training `n` inputs with `batches`
+    /// weight updates, joules.
+    pub fn training_energy_j(&self, n: u64, batches: u64) -> f64 {
+        self.training_energy_breakdown(n, batches).total_j()
+    }
+
+    /// Component-wise energy of training `n` inputs with `batches` weight
+    /// updates.
+    pub fn training_energy_breakdown(&self, n: u64, batches: u64) -> EnergyBreakdown {
+        let n = n as f64;
+        EnergyBreakdown {
+            forward_j: n * self.forward_energy_pj * 1e-12,
+            backward_j: n * self.backward_energy_pj * 1e-12,
+            buffer_j: n * self.buffer_energy_pj * 1e-12,
+            update_j: batches as f64 * self.update_energy_pj * 1e-12,
+        }
+    }
+
+    /// Crossbar + buffer energy of `n` inference passes, joules.
+    pub fn inference_energy_j(&self, n: u64) -> f64 {
+        (n as f64 * (self.forward_energy_pj + self.buffer_energy_pj / 3.0)) * 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reram_nn::models;
+
+    fn timing(net: &NetworkSpec) -> NetworkTiming {
+        NetworkTiming::analyze(net, &AcceleratorConfig::default())
+    }
+
+    #[test]
+    fn analyzes_lenet() {
+        let t = timing(&models::lenet_spec());
+        assert_eq!(t.mappings.len(), 5);
+        assert!(t.forward_cycle_ns > 0.0);
+        assert!(t.training_cycle_ns > t.forward_cycle_ns);
+        assert!(t.total_arrays > 0);
+        assert!(t.area_mm2 > 0.0);
+    }
+
+    #[test]
+    fn backward_cycle_is_twice_forward() {
+        let t = timing(&models::lenet_spec());
+        assert!((t.training_cycle_ns - 2.0 * t.forward_cycle_ns).abs() < 1e-9);
+        assert!((t.backward_energy_pj - 2.0 * t.forward_energy_pj).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bigger_network_more_arrays_and_energy() {
+        let small = timing(&models::lenet_spec());
+        let big = timing(&models::vgg_a_spec());
+        assert!(big.total_arrays > 10 * small.total_arrays);
+        assert!(big.forward_energy_pj > 100.0 * small.forward_energy_pj);
+    }
+
+    #[test]
+    fn cycle_time_bounded_by_replication_policy() {
+        // MaxStepsPerLayer(64) with 16 input bits and default frames:
+        // stage <= 64 MVMs x (16 frames + merge) ns.
+        let cfg = AcceleratorConfig::default().with_replication(
+            crate::mapping::ReplicationPolicy::MaxStepsPerLayer(64),
+        );
+        let t = NetworkTiming::analyze(&models::vgg_a_spec(), &cfg);
+        let per_mvm = 16.0 * cfg.cost.frame_latency_ns + 16.0 * cfg.cost.adder_latency_ns;
+        assert!(
+            t.forward_cycle_ns <= 64.0 * per_mvm,
+            "cycle {} exceeds bound",
+            t.forward_cycle_ns
+        );
+    }
+
+    #[test]
+    fn cycles_to_seconds_composition() {
+        let t = timing(&models::lenet_spec());
+        let s = t.cycles_to_seconds(100, 2, true);
+        let want = (100.0 * t.training_cycle_ns + 2.0 * t.update_cycle_ns) * 1e-9;
+        assert!((s - want).abs() < 1e-15);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let t = timing(&models::alexnet_spec());
+        let b = t.training_energy_breakdown(256, 8);
+        assert!((b.total_j() - t.training_energy_j(256, 8)).abs() < 1e-12);
+        assert!(b.forward_j > 0.0 && b.backward_j > 0.0);
+        assert!(b.buffer_j > 0.0 && b.update_j > 0.0);
+        // Backward dominates forward 2:1 in the crossbar component.
+        assert!((b.backward_j / b.forward_j - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn training_energy_scales_with_inputs() {
+        let t = timing(&models::lenet_spec());
+        let e1 = t.training_energy_j(100, 10);
+        let e2 = t.training_energy_j(200, 20);
+        assert!((e2 / e1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inference_energy_below_training_energy() {
+        let t = timing(&models::lenet_spec());
+        assert!(t.inference_energy_j(100) < t.training_energy_j(100, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "no weighted layers")]
+    fn rejects_unweighted_network() {
+        let net = NetworkSpec::new(
+            "empty",
+            reram_tensor::Shape4::new(1, 1, 4, 4),
+            vec![reram_nn::LayerSpec::Activation { elems: 16 }],
+        );
+        let _ = timing(&net);
+    }
+}

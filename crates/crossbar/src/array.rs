@@ -1,0 +1,394 @@
+//! A single ReRAM crossbar array — paper Fig. 3(a, b).
+//!
+//! "The vector is represented by the input signals on the wordlines. Each
+//! element of the matrix is programmed into the cell conductance in the
+//! crossbar array. Thus, the current flowing to the end of each bitline is
+//! viewed as the result of the matrix-vector multiplication."
+
+use crate::device::{ReramCell, ReramDeviceModel};
+use crate::spike::{IntegrateFire, SpikeTrain};
+use crate::CrossbarConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fixed-geometry crossbar of ReRAM cells with bit-serial analog MVM.
+///
+/// Cells are stored row-major: `cells[r * cols + c]` sits at wordline `r`,
+/// bitline `c`. The array is unsigned — sign handling lives one level up in
+/// [`crate::tile::TiledMatrix`] via differential array pairs.
+///
+/// Stuck-at cell faults (manufacturing defects / worn-out cells) are drawn
+/// once at construction and persist: a stuck cell ignores every subsequent
+/// programming pulse and always presents its stuck conductance.
+#[derive(Debug, Clone)]
+pub struct CrossbarArray {
+    rows: usize,
+    cols: usize,
+    cells: Vec<ReramCell>,
+    /// Per-cell stuck level (`None` = healthy).
+    stuck: Vec<Option<u32>>,
+    device: ReramDeviceModel,
+    mvm_count: u64,
+    spike_count: u64,
+}
+
+impl CrossbarArray {
+    /// Creates an array with all cells programmed to level 0.
+    pub fn new(config: &CrossbarConfig) -> Self {
+        let mut device = ReramDeviceModel::new(
+            config.cell_bits,
+            config.write_sigma,
+            config.read_sigma,
+            config.noise_seed,
+        );
+        let max_level = device.max_level();
+        let stuck: Vec<Option<u32>> =
+            if config.stuck_off_rate > 0.0 || config.stuck_on_rate > 0.0 {
+                // Distinct RNG stream from the variation RNG so enabling
+                // faults does not perturb the variation draws.
+                let mut rng =
+                    StdRng::seed_from_u64(config.noise_seed.wrapping_mul(0x51_7c_c1_b7_27_22_0a_95));
+                (0..config.rows * config.cols)
+                    .map(|_| {
+                        let r: f64 = rng.gen();
+                        if r < config.stuck_off_rate {
+                            Some(0)
+                        } else if r < config.stuck_off_rate + config.stuck_on_rate {
+                            Some(max_level)
+                        } else {
+                            None
+                        }
+                    })
+                    .collect()
+            } else {
+                vec![None; config.rows * config.cols]
+            };
+        let cells = stuck
+            .iter()
+            .map(|s| device.program(s.unwrap_or(0)))
+            .collect();
+        Self {
+            rows: config.rows,
+            cols: config.cols,
+            cells,
+            stuck,
+            device,
+            mvm_count: 0,
+            spike_count: 0,
+        }
+    }
+
+    /// Number of stuck (faulty) cells in this array.
+    pub fn fault_count(&self) -> usize {
+        self.stuck.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Wordline count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Bitline count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Programs the whole array from row-major levels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels.len() != rows * cols` or any level exceeds the
+    /// device range.
+    pub fn program(&mut self, levels: &[u32]) {
+        assert_eq!(
+            levels.len(),
+            self.rows * self.cols,
+            "program: {} levels for a {}x{} array",
+            levels.len(),
+            self.rows,
+            self.cols
+        );
+        self.cells = levels
+            .iter()
+            .zip(&self.stuck)
+            .map(|(&l, s)| self.device.program(s.unwrap_or(l)))
+            .collect();
+    }
+
+    /// Programs a single cell (used by in-place weight updates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of range or the level too large.
+    pub fn program_cell(&mut self, row: usize, col: usize, level: u32) {
+        assert!(row < self.rows && col < self.cols, "cell ({row},{col}) out of range");
+        let i = row * self.cols + col;
+        let effective = self.stuck[i].unwrap_or(level);
+        self.cells[i] = self.device.program(effective);
+    }
+
+    /// The digital level currently programmed at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of range.
+    pub fn level_at(&self, row: usize, col: usize) -> u32 {
+        assert!(row < self.rows && col < self.cols, "cell ({row},{col}) out of range");
+        self.cells[row * self.cols + col].level()
+    }
+
+    /// One analog frame: bitline currents with the given wordlines active.
+    ///
+    /// Returns `cols` currents, each the sum of active cells' conductances.
+    /// Read noise (if configured) is drawn once per bitline per frame,
+    /// modelling integrated current noise at the I&F input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active.len() != rows`.
+    pub fn bitline_currents(&mut self, active: &[bool]) -> Vec<f64> {
+        assert_eq!(
+            active.len(),
+            self.rows,
+            "bitline_currents: {} wordline states for {} rows",
+            active.len(),
+            self.rows
+        );
+        let mut currents = vec![0.0f64; self.cols];
+        for (r, &on) in active.iter().enumerate() {
+            if !on {
+                continue;
+            }
+            self.spike_count += 1;
+            let base = r * self.cols;
+            for (c, cur) in currents.iter_mut().enumerate() {
+                *cur += self.cells[base + c].conductance();
+            }
+        }
+        if !self.device.is_ideal() {
+            // One equivalent read-noise draw per bitline; a dummy level-0
+            // cell turns the device's read noise into additive current noise.
+            let dummy = self.device.program(0);
+            for cur in &mut currents {
+                *cur += self.device.read(&dummy) - dummy.conductance();
+            }
+        }
+        currents
+    }
+
+    /// Full spike-coded matrix-vector multiplication.
+    ///
+    /// Encodes `codes` (one unsigned integer per wordline) as a weighted
+    /// spike train, integrates every frame through I&F counters, and merges
+    /// the per-frame counts with binary weights. Returns one accumulated
+    /// count per bitline: `y_c = Σ_t 2^t · IF(Σ_r g[r][c] · bit_t(x_r))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes.len() != rows` or a code exceeds `input_bits`.
+    pub fn mvm_codes(&mut self, codes: &[u64], input_bits: u32) -> Vec<u64> {
+        assert_eq!(
+            codes.len(),
+            self.rows,
+            "mvm_codes: {} codes for {} rows",
+            codes.len(),
+            self.rows
+        );
+        self.mvm_count += 1;
+        let train = SpikeTrain::encode(codes, input_bits);
+        let mut inf = IntegrateFire::new();
+        let mut acc = vec![0u64; self.cols];
+        for t in 0..train.num_frames() {
+            let currents = self.bitline_currents(train.frame(t));
+            let w = train.frame_weight(t);
+            for (a, cur) in acc.iter_mut().zip(currents) {
+                *a += inf.convert(cur) * w;
+            }
+        }
+        acc
+    }
+
+    /// Number of MVM operations performed.
+    pub fn mvm_count(&self) -> u64 {
+        self.mvm_count
+    }
+
+    /// Number of wordline spikes driven (dynamic energy proxy).
+    pub fn spike_count(&self) -> u64 {
+        self.spike_count
+    }
+
+    /// Number of cell programming operations (endurance proxy).
+    pub fn write_count(&self) -> u64 {
+        self.device.write_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> CrossbarConfig {
+        CrossbarConfig {
+            rows: 4,
+            cols: 4,
+            cell_bits: 4,
+            weight_bits: 4,
+            input_bits: 4,
+            ..CrossbarConfig::default()
+        }
+    }
+
+    #[test]
+    fn new_array_is_all_zero() {
+        let mut a = CrossbarArray::new(&small_config());
+        let y = a.mvm_codes(&[15, 15, 15, 15], 4);
+        assert!(y.iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn program_and_read_back_levels() {
+        let mut a = CrossbarArray::new(&small_config());
+        let levels: Vec<u32> = (0..16).collect();
+        a.program(&levels);
+        assert_eq!(a.level_at(0, 0), 0);
+        assert_eq!(a.level_at(3, 3), 15);
+        assert_eq!(a.level_at(1, 2), 6);
+    }
+
+    #[test]
+    fn bitline_current_sums_active_rows() {
+        let mut a = CrossbarArray::new(&small_config());
+        let levels: Vec<u32> = (0..16).map(|i| i % 16).collect();
+        a.program(&levels);
+        // Activate rows 0 and 2: column c current = levels[c] + levels[8+c].
+        let currents = a.bitline_currents(&[true, false, true, false]);
+        for c in 0..4 {
+            assert_eq!(currents[c], (c + (8 + c)) as f64);
+        }
+    }
+
+    #[test]
+    fn mvm_codes_computes_integer_product() {
+        let mut a = CrossbarArray::new(&small_config());
+        // g = row-major 4x4 matrix of levels.
+        let g = [1u32, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 0];
+        a.program(&g);
+        let x = [3u64, 0, 7, 15];
+        let y = a.mvm_codes(&x, 4);
+        for c in 0..4 {
+            let want: u64 = (0..4).map(|r| g[r * 4 + c] as u64 * x[r]).sum();
+            assert_eq!(y[c], want, "column {c}");
+        }
+    }
+
+    #[test]
+    fn mvm_is_exact_for_max_inputs() {
+        let mut a = CrossbarArray::new(&small_config());
+        a.program(&[15u32; 16]);
+        let y = a.mvm_codes(&[15; 4], 4);
+        // Every column: 4 rows * 15 * 15 = 900.
+        assert!(y.iter().all(|&v| v == 900));
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut a = CrossbarArray::new(&small_config());
+        a.program(&[1; 16]);
+        let _ = a.mvm_codes(&[0b1010, 0b0101, 0, 0b1111], 4);
+        assert_eq!(a.mvm_count(), 1);
+        // spikes = popcount sum = 2 + 2 + 0 + 4 = 8
+        assert_eq!(a.spike_count(), 8);
+        // writes = initial 16 + programmed 16
+        assert_eq!(a.write_count(), 32);
+    }
+
+    #[test]
+    fn noisy_array_stays_close_to_ideal() {
+        let cfg = small_config().with_noise(0.02, 0.02, 5);
+        let mut noisy = CrossbarArray::new(&cfg);
+        let mut ideal = CrossbarArray::new(&small_config());
+        let g: Vec<u32> = (0..16).map(|i| (i * 3) % 16).collect();
+        noisy.program(&g);
+        ideal.program(&g);
+        let x = [7u64, 3, 15, 1];
+        let yn = noisy.mvm_codes(&x, 4);
+        let yi = ideal.mvm_codes(&x, 4);
+        for (a, b) in yn.iter().zip(&yi) {
+            let diff = (*a as i64 - *b as i64).abs();
+            assert!(diff <= 16, "noisy {a} vs ideal {b}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "codes for")]
+    fn mvm_rejects_wrong_length() {
+        let mut a = CrossbarArray::new(&small_config());
+        let _ = a.mvm_codes(&[1, 2], 4);
+    }
+
+    #[test]
+    fn fault_free_array_has_no_stuck_cells() {
+        let a = CrossbarArray::new(&small_config());
+        assert_eq!(a.fault_count(), 0);
+    }
+
+    #[test]
+    fn fault_rate_statistics() {
+        let cfg = CrossbarConfig {
+            rows: 64,
+            cols: 64,
+            ..CrossbarConfig::default()
+        }
+        .with_faults(0.05, 0.05, 17);
+        let a = CrossbarArray::new(&cfg);
+        let rate = a.fault_count() as f64 / (64.0 * 64.0);
+        assert!((rate - 0.10).abs() < 0.03, "fault rate {rate}");
+    }
+
+    #[test]
+    fn stuck_cells_ignore_programming() {
+        let cfg = small_config().with_faults(0.5, 0.0, 23);
+        let mut a = CrossbarArray::new(&cfg);
+        let faults_before = a.fault_count();
+        assert!(faults_before > 0, "need at least one stuck cell");
+        a.program(&[15u32; 16]);
+        // Stuck-off cells still read level 0 after programming to 15.
+        let zeros = (0..4)
+            .flat_map(|r| (0..4).map(move |c| (r, c)))
+            .filter(|&(r, c)| a.level_at(r, c) == 0)
+            .count();
+        assert_eq!(zeros, faults_before);
+    }
+
+    #[test]
+    fn stuck_on_cells_add_current() {
+        let cfg = small_config().with_faults(0.0, 0.5, 29);
+        let mut a = CrossbarArray::new(&cfg);
+        // Without programming anything, stuck-on cells conduct at max.
+        let y = a.mvm_codes(&[1, 1, 1, 1], 4);
+        let total: u64 = y.iter().sum();
+        assert_eq!(total, a.fault_count() as u64 * 15);
+    }
+
+    #[test]
+    fn same_seed_same_fault_pattern() {
+        let cfg = small_config().with_faults(0.3, 0.1, 31);
+        let a = CrossbarArray::new(&cfg);
+        let b = CrossbarArray::new(&cfg);
+        assert_eq!(a.fault_count(), b.fault_count());
+        for r in 0..4 {
+            for c in 0..4 {
+                assert_eq!(a.level_at(r, c), b.level_at(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn program_cell_updates_single_weight() {
+        let mut a = CrossbarArray::new(&small_config());
+        a.program_cell(2, 1, 9);
+        assert_eq!(a.level_at(2, 1), 9);
+        assert_eq!(a.level_at(2, 2), 0);
+    }
+}

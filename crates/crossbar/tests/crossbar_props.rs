@@ -1,0 +1,128 @@
+//! Property-based tests of the crossbar substrate's invariants.
+
+use proptest::prelude::*;
+use reram_crossbar::{CrossbarConfig, TiledMatrix};
+use reram_tensor::{Matrix, Shape2};
+
+fn small_config() -> CrossbarConfig {
+    CrossbarConfig {
+        rows: 16,
+        cols: 32,
+        ..CrossbarConfig::default()
+    }
+}
+
+fn matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    Matrix::from_fn(Shape2::new(rows, cols), |r, c| {
+        let k = (seed as usize).wrapping_add(r * 31 + c * 17) % 41;
+        (k as f32 - 20.0) / 20.0
+    })
+}
+
+fn vector(n: usize, seed: u64) -> Vec<f32> {
+    (0..n)
+        .map(|i| (((seed as usize + i * 13) % 23) as f32 - 11.0) / 11.0)
+        .collect()
+}
+
+proptest! {
+    /// MVM is (approximately) linear in the input: scaling the input by an
+    /// integer factor scales the output within quantization error.
+    #[test]
+    fn mvm_scales_with_input(rows in 1usize..20, cols in 1usize..20, seed in 0u64..200) {
+        let w = matrix(rows, cols, seed);
+        let x = vector(cols, seed);
+        let half: Vec<f32> = x.iter().map(|v| v * 0.5).collect();
+        let mut t = TiledMatrix::program(&w, &small_config());
+        let y = t.matvec(&x);
+        let y_half = t.matvec(&half);
+        for (a, b) in y.iter().zip(&y_half) {
+            let tol = 0.01 * cols as f32 + 0.02;
+            prop_assert!((a * 0.5 - b).abs() <= tol, "{a}*0.5 vs {b}");
+        }
+    }
+
+    /// Zero weights produce exactly zero outputs regardless of input.
+    #[test]
+    fn zero_matrix_is_exactly_zero(rows in 1usize..20, cols in 1usize..20, seed in 0u64..50) {
+        let w = Matrix::zeros(Shape2::new(rows, cols));
+        let mut t = TiledMatrix::program(&w, &small_config());
+        let y = t.matvec(&vector(cols, seed));
+        prop_assert!(y.iter().all(|&v| v == 0.0));
+    }
+
+    /// Reprogramming with the same matrix never changes the result.
+    #[test]
+    fn reprogram_is_idempotent(rows in 1usize..12, cols in 1usize..12, seed in 0u64..50) {
+        let w = matrix(rows, cols, seed);
+        let x = vector(cols, seed);
+        let mut t = TiledMatrix::program(&w, &small_config());
+        let before = t.matvec(&x);
+        t.reprogram(&w);
+        let after = t.matvec(&x);
+        prop_assert_eq!(before, after);
+    }
+
+    /// Delta reprogramming with unchanged weights issues zero pulses and
+    /// preserves results exactly.
+    #[test]
+    fn delta_noop_is_free(rows in 1usize..12, cols in 1usize..12, seed in 0u64..50) {
+        let w = matrix(rows, cols, seed);
+        let x = vector(cols, seed);
+        let mut t = TiledMatrix::program(&w, &small_config());
+        let before = t.matvec(&x);
+        let pulses = t.reprogram_delta(&w.clone());
+        prop_assert_eq!(pulses, 0);
+        prop_assert_eq!(t.matvec(&x), before);
+    }
+
+    /// Delta and full reprogramming agree functionally for in-range updates.
+    #[test]
+    fn delta_equals_full_reprogram(
+        rows in 1usize..10, cols in 1usize..10, seed in 0u64..50,
+    ) {
+        let w1 = matrix(rows, cols, seed);
+        // Scale weights down: stays inside the original full-scale range.
+        let w2 = Matrix::from_fn(w1.shape(), |r, c| w1.at(r, c) * 0.75);
+        let x = vector(cols, seed);
+        let mut full = TiledMatrix::program(&w1, &small_config());
+        let mut delta = TiledMatrix::program(&w1, &small_config());
+        full.reprogram(&w2);
+        let _ = delta.reprogram_delta(&w2);
+        let yf = full.matvec(&x);
+        let yd = delta.matvec(&x);
+        // Full reprogram refits the scale; both stay within combined
+        // quantization error of the exact product.
+        let exact = w2.matvec(&x);
+        let tol = 0.01 * cols as f32 + 0.05;
+        for i in 0..exact.len() {
+            prop_assert!((yf[i] - exact[i]).abs() <= tol, "full: {} vs {}", yf[i], exact[i]);
+            prop_assert!((yd[i] - exact[i]).abs() <= tol, "delta: {} vs {}", yd[i], exact[i]);
+        }
+    }
+
+    /// Moderate device noise shifts results by a bounded amount.
+    #[test]
+    fn noise_bounded_perturbation(seed in 0u64..50) {
+        let w = matrix(12, 12, seed);
+        let x = vector(12, seed);
+        let mut ideal = TiledMatrix::program(&w, &small_config());
+        let noisy_cfg = small_config().with_noise(0.02, 0.02, seed);
+        let mut noisy = TiledMatrix::program(&w, &noisy_cfg);
+        let yi = ideal.matvec(&x);
+        let yn = noisy.matvec(&x);
+        for (a, b) in yi.iter().zip(&yn) {
+            prop_assert!((a - b).abs() < 1.0, "ideal {a} vs noisy {b}");
+        }
+    }
+
+    /// Fault rate zero is bit-identical to the fault-free array.
+    #[test]
+    fn zero_fault_rate_is_ideal(seed in 0u64..50) {
+        let w = matrix(8, 8, seed);
+        let x = vector(8, seed);
+        let mut a = TiledMatrix::program(&w, &small_config());
+        let mut b = TiledMatrix::program(&w, &small_config().with_faults(0.0, 0.0, seed));
+        prop_assert_eq!(a.matvec(&x), b.matvec(&x));
+    }
+}

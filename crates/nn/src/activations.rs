@@ -1,0 +1,219 @@
+//! Elementwise activation functions and their derivatives.
+//!
+//! PipeLayer implements the "activation function defined in CNN algorithms"
+//! in peripheral circuitry (§III-A.3 (c)); ReGAN realizes activations with a
+//! *configurable look-up table* after the differential subtractor
+//! (Fig. 10 Ⓑ). [`LutActivation`] models that LUT: any scalar function
+//! sampled over a range, evaluated by nearest-entry lookup, so experiments
+//! can quantify the LUT-resolution/accuracy trade-off.
+
+/// A scalar activation function with a known derivative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Activation {
+    /// Rectified linear unit: `max(0, x)` — "the common used function".
+    Relu,
+    /// Leaky ReLU with slope 0.01 for negative inputs (DCGAN discriminator).
+    LeakyRelu,
+    /// Logistic sigmoid (GAN output probabilities).
+    Sigmoid,
+    /// Hyperbolic tangent (DCGAN generator output).
+    Tanh,
+}
+
+impl Activation {
+    /// Evaluates the function.
+    pub fn apply(&self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::LeakyRelu => {
+                if x >= 0.0 {
+                    x
+                } else {
+                    0.01 * x
+                }
+            }
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+        }
+    }
+
+    /// Evaluates the derivative *as a function of the input* `x`.
+    pub fn derivative(&self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::LeakyRelu => {
+                if x >= 0.0 {
+                    1.0
+                } else {
+                    0.01
+                }
+            }
+            Activation::Sigmoid => {
+                let s = self.apply(x);
+                s * (1.0 - s)
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Activation::Relu => "relu",
+            Activation::LeakyRelu => "leaky_relu",
+            Activation::Sigmoid => "sigmoid",
+            Activation::Tanh => "tanh",
+        }
+    }
+}
+
+/// Look-up-table realization of an activation function (ReGAN Fig. 10 Ⓑ).
+///
+/// The function is sampled at `entries` points uniformly covering
+/// `[lo, hi]`; evaluation returns the nearest sample. Inputs outside the
+/// range clamp to the endpoints, mirroring the saturating analog front end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LutActivation {
+    lo: f32,
+    hi: f32,
+    table: Vec<f32>,
+}
+
+impl LutActivation {
+    /// Samples `f` over `[lo, hi]` with `entries` table entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries < 2` or `lo >= hi`.
+    pub fn sample(f: impl Fn(f32) -> f32, lo: f32, hi: f32, entries: usize) -> Self {
+        assert!(entries >= 2, "LUT needs at least 2 entries");
+        assert!(lo < hi, "LUT range [{lo}, {hi}] is empty");
+        let table = (0..entries)
+            .map(|i| f(lo + (hi - lo) * i as f32 / (entries - 1) as f32))
+            .collect();
+        Self { lo, hi, table }
+    }
+
+    /// Builds a LUT for a named activation over `[lo, hi]`.
+    pub fn of(activation: Activation, lo: f32, hi: f32, entries: usize) -> Self {
+        Self::sample(|x| activation.apply(x), lo, hi, entries)
+    }
+
+    /// Number of table entries.
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Evaluates the LUT at `x` (nearest entry, clamped range).
+    pub fn apply(&self, x: f32) -> f32 {
+        let t = ((x - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0);
+        let idx = (t * (self.table.len() - 1) as f32).round() as usize;
+        self.table[idx]
+    }
+
+    /// Worst-case absolute error vs. `f` over a dense sweep of the range.
+    pub fn max_error(&self, f: impl Fn(f32) -> f32) -> f32 {
+        let mut worst = 0.0f32;
+        let steps = self.table.len() * 8;
+        for i in 0..=steps {
+            let x = self.lo + (self.hi - self.lo) * i as f32 / steps as f32;
+            worst = worst.max((self.apply(x) - f(x)).abs());
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_values_and_derivative() {
+        let a = Activation::Relu;
+        assert_eq!(a.apply(3.0), 3.0);
+        assert_eq!(a.apply(-3.0), 0.0);
+        assert_eq!(a.derivative(3.0), 1.0);
+        assert_eq!(a.derivative(-3.0), 0.0);
+    }
+
+    #[test]
+    fn leaky_relu_negative_slope() {
+        let a = Activation::LeakyRelu;
+        assert_eq!(a.apply(-2.0), -0.02);
+        assert_eq!(a.derivative(-2.0), 0.01);
+        assert_eq!(a.apply(2.0), 2.0);
+    }
+
+    #[test]
+    fn sigmoid_symmetry_and_derivative() {
+        let a = Activation::Sigmoid;
+        assert!((a.apply(0.0) - 0.5).abs() < 1e-6);
+        assert!((a.apply(2.0) + a.apply(-2.0) - 1.0).abs() < 1e-6);
+        assert!((a.derivative(0.0) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tanh_bounds() {
+        let a = Activation::Tanh;
+        assert!(a.apply(10.0) <= 1.0);
+        assert!(a.apply(-10.0) >= -1.0);
+        assert!((a.derivative(0.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn derivatives_match_numeric() {
+        let eps = 1e-3;
+        for a in [
+            Activation::Relu,
+            Activation::LeakyRelu,
+            Activation::Sigmoid,
+            Activation::Tanh,
+        ] {
+            for &x in &[-1.5f32, -0.2, 0.3, 1.7] {
+                let num = (a.apply(x + eps) - a.apply(x - eps)) / (2.0 * eps);
+                assert!(
+                    (num - a.derivative(x)).abs() < 1e-2,
+                    "{}: numeric {num} vs {}",
+                    a.name(),
+                    a.derivative(x)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lut_approximates_sigmoid() {
+        let lut = LutActivation::of(Activation::Sigmoid, -8.0, 8.0, 256);
+        assert!(lut.max_error(|x| Activation::Sigmoid.apply(x)) < 0.02);
+    }
+
+    #[test]
+    fn lut_error_shrinks_with_entries() {
+        let coarse = LutActivation::of(Activation::Tanh, -4.0, 4.0, 16);
+        let fine = LutActivation::of(Activation::Tanh, -4.0, 4.0, 512);
+        let f = |x: f32| Activation::Tanh.apply(x);
+        assert!(fine.max_error(f) < coarse.max_error(f) / 4.0);
+    }
+
+    #[test]
+    fn lut_clamps_out_of_range() {
+        let lut = LutActivation::of(Activation::Sigmoid, -4.0, 4.0, 64);
+        assert_eq!(lut.apply(100.0), lut.apply(4.0));
+        assert_eq!(lut.apply(-100.0), lut.apply(-4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 entries")]
+    fn lut_rejects_tiny_table() {
+        let _ = LutActivation::of(Activation::Relu, -1.0, 1.0, 1);
+    }
+}

@@ -1,0 +1,128 @@
+//! Inverted dropout regularizer (used by the AlexNet-class workloads).
+
+use crate::{Layer, LayerClass, LayerSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use reram_tensor::{Shape4, Tensor};
+
+/// Inverted dropout: during training each element survives with probability
+/// `keep` and is scaled by `1/keep`; inference is the identity.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    keep: f32,
+    rng: StdRng,
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer keeping each element with probability `keep`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` is not in `(0, 1]`.
+    pub fn new(keep: f32, seed: u64) -> Self {
+        assert!(keep > 0.0 && keep <= 1.0, "keep probability {keep} outside (0, 1]");
+        Self {
+            keep,
+            rng: StdRng::seed_from_u64(seed),
+            mask: None,
+        }
+    }
+
+    /// The keep probability.
+    pub fn keep(&self) -> f32 {
+        self.keep
+    }
+}
+
+impl Layer for Dropout {
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+
+    fn class(&self) -> LayerClass {
+        LayerClass::Auxiliary
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if !train || self.keep >= 1.0 {
+            self.mask = None;
+            return input.clone();
+        }
+        let scale = 1.0 / self.keep;
+        let mask = Tensor::from_fn(input.shape(), |_, _, _, _| {
+            if self.rng.gen::<f32>() < self.keep {
+                scale
+            } else {
+                0.0
+            }
+        });
+        let out = input.zip_map(&mask, |x, m| x * m);
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        match &self.mask {
+            Some(mask) => grad_out.zip_map(mask, |g, m| g * m),
+            // keep == 1.0 or eval-mode forward: identity.
+            None => grad_out.clone(),
+        }
+    }
+
+    fn output_shape(&self, input: Shape4) -> Shape4 {
+        input
+    }
+
+    fn spec(&self, _input: Shape4) -> Option<LayerSpec> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::ones(Shape4::new(2, 3, 4, 4));
+        assert_eq!(d.forward(&x, false), x);
+    }
+
+    #[test]
+    fn keep_one_is_identity_in_training() {
+        let mut d = Dropout::new(1.0, 1);
+        let x = Tensor::ones(Shape4::new(1, 1, 4, 4));
+        assert_eq!(d.forward(&x, true), x);
+    }
+
+    #[test]
+    fn training_zeroes_roughly_the_right_fraction() {
+        let mut d = Dropout::new(0.7, 2);
+        let x = Tensor::ones(Shape4::new(1, 1, 100, 100));
+        let y = d.forward(&x, true);
+        let kept = y.data().iter().filter(|&&v| v != 0.0).count() as f32 / 10_000.0;
+        assert!((kept - 0.7).abs() < 0.05, "kept fraction {kept}");
+        // Inverted scaling keeps the expectation.
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
+    }
+
+    #[test]
+    fn backward_applies_same_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor::ones(Shape4::new(1, 1, 8, 8));
+        let y = d.forward(&x, true);
+        let gin = d.backward(&Tensor::ones(x.shape()));
+        // Gradient flows exactly where the forward survived.
+        for (a, b) in y.data().iter().zip(gin.data()) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn rejects_zero_keep() {
+        let _ = Dropout::new(0.0, 1);
+    }
+}

@@ -1,0 +1,23 @@
+//! Layer implementations.
+//!
+//! Each layer type of the paper's §II-A has its own module; all implement
+//! [`crate::Layer`] with forward *and* backward passes and batch-accumulated
+//! gradients.
+
+mod activation;
+mod batchnorm;
+mod conv;
+mod dropout;
+mod fc;
+mod flatten;
+mod frac_conv;
+mod pool;
+
+pub use activation::ActivationLayer;
+pub use batchnorm::{BatchNorm, NormMode};
+pub use conv::Conv2d;
+pub use dropout::Dropout;
+pub use fc::Linear;
+pub use flatten::Flatten;
+pub use frac_conv::FracConv2d;
+pub use pool::{Pool2d, PoolKind};

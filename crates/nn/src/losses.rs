@@ -1,0 +1,261 @@
+//! Loss functions: the "error between the network output and its
+//! corresponding expected output" (§II-A.2), with analytic gradients that
+//! seed the back-propagation pipeline.
+
+use reram_tensor::Tensor;
+#[cfg(test)]
+use reram_tensor::Shape4;
+
+/// Mean softmax cross-entropy over a batch of logits.
+///
+/// `logits` is `(n, classes, 1, 1)`; `labels[i]` is entry `i`'s class.
+/// Returns the mean loss and the gradient w.r.t. the logits (already
+/// divided by the batch size).
+///
+/// # Panics
+///
+/// Panics if `labels.len() != n` or any label is out of range.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    let s = logits.shape();
+    assert_eq!(s.h * s.w, 1, "logits must be vectors, got {s}");
+    assert_eq!(labels.len(), s.n, "one label per batch entry");
+    let classes = s.c;
+    let mut grad = Tensor::zeros(s);
+    let mut loss = 0.0f32;
+    for (n, &label) in labels.iter().enumerate() {
+        assert!(label < classes, "label {label} out of range {classes}");
+        // Numerically stable softmax.
+        let mut max = f32::NEG_INFINITY;
+        for c in 0..classes {
+            max = max.max(logits.at(n, c, 0, 0));
+        }
+        let mut denom = 0.0f32;
+        for c in 0..classes {
+            denom += (logits.at(n, c, 0, 0) - max).exp();
+        }
+        let log_denom = denom.ln();
+        loss += -(logits.at(n, label, 0, 0) - max - log_denom);
+        for c in 0..classes {
+            let p = (logits.at(n, c, 0, 0) - max).exp() / denom;
+            let target = if c == label { 1.0 } else { 0.0 };
+            grad.set(n, c, 0, 0, (p - target) / s.n as f32);
+        }
+    }
+    (loss / s.n as f32, grad)
+}
+
+/// Mean binary cross-entropy on logits (the GAN loss of §III-B.2).
+///
+/// `logits` is `(n, 1, 1, 1)`; `targets[i] ∈ {0, 1}` is the label — `1` for
+/// real/“fool the discriminator”, `0` for generated. Returns the mean loss
+/// and the gradient w.r.t. the logits.
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+pub fn bce_with_logits(logits: &Tensor, targets: &[f32]) -> (f32, Tensor) {
+    let s = logits.shape();
+    assert_eq!(s.c * s.h * s.w, 1, "bce expects scalar logits, got {s}");
+    assert_eq!(targets.len(), s.n, "one target per batch entry");
+    let mut grad = Tensor::zeros(s);
+    let mut loss = 0.0f32;
+    for (n, &t) in targets.iter().enumerate() {
+        let x = logits.at(n, 0, 0, 0);
+        // Stable: log(1 + e^-|x|) + max(x, 0) - x t
+        loss += x.max(0.0) - x * t + (1.0 + (-x.abs()).exp()).ln();
+        let sigma = 1.0 / (1.0 + (-x).exp());
+        grad.set(n, 0, 0, 0, (sigma - t) / s.n as f32);
+    }
+    (loss / s.n as f32, grad)
+}
+
+/// Mean squared error and its gradient.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    let n = pred.len() as f32;
+    let loss = pred.squared_distance(target) / n;
+    let grad = pred.zip_map(target, |p, t| 2.0 * (p - t) / n);
+    (loss, grad)
+}
+
+/// Wasserstein critic loss (WGAN, paper reference \[11\]):
+/// `-(mean(real_scores) - mean(fake_scores))`, to be *minimized* by the
+/// critic. Returns the loss and the gradients w.r.t. the real and fake
+/// score tensors (each `(n, 1, 1, 1)`).
+///
+/// # Panics
+///
+/// Panics if either tensor is not a batch of scalar scores.
+pub fn wasserstein_critic(real_scores: &Tensor, fake_scores: &Tensor) -> (f32, Tensor, Tensor) {
+    for s in [real_scores.shape(), fake_scores.shape()] {
+        assert_eq!(s.batch_stride(), 1, "wasserstein expects scalar scores, got {s}");
+    }
+    let loss = fake_scores.mean() - real_scores.mean();
+    let nr = real_scores.shape().n as f32;
+    let nf = fake_scores.shape().n as f32;
+    let grad_real = Tensor::filled(real_scores.shape(), -1.0 / nr);
+    let grad_fake = Tensor::filled(fake_scores.shape(), 1.0 / nf);
+    (loss, grad_real, grad_fake)
+}
+
+/// Wasserstein generator loss: `-mean(fake_scores)`, minimized by the
+/// generator. Returns the loss and the gradient w.r.t. the fake scores.
+///
+/// # Panics
+///
+/// Panics if the tensor is not a batch of scalar scores.
+pub fn wasserstein_generator(fake_scores: &Tensor) -> (f32, Tensor) {
+    let s = fake_scores.shape();
+    assert_eq!(s.batch_stride(), 1, "wasserstein expects scalar scores, got {s}");
+    let grad = Tensor::filled(s, -1.0 / s.n as f32);
+    (-fake_scores.mean(), grad)
+}
+
+/// Fraction of batch entries whose argmax logit equals the label.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the batch size.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    let s = logits.shape();
+    assert_eq!(labels.len(), s.n, "one label per batch entry");
+    let mut correct = 0usize;
+    for (n, &label) in labels.iter().enumerate() {
+        let mut best = 0usize;
+        let mut best_v = f32::NEG_INFINITY;
+        for c in 0..s.c {
+            let v = logits.at(n, c, 0, 0);
+            if v > best_v {
+                best_v = v;
+                best = c;
+            }
+        }
+        correct += (best == label) as usize;
+    }
+    correct as f32 / s.n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_ce_uniform_logits() {
+        let logits = Tensor::zeros(Shape4::new(2, 4, 1, 1));
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 3]);
+        assert!((loss - 4.0f32.ln()).abs() < 1e-5);
+        // Gradient sums to zero per entry.
+        assert!(grad.sum().abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_ce_confident_correct_is_small() {
+        let mut logits = Tensor::zeros(Shape4::new(1, 3, 1, 1));
+        logits.set(0, 1, 0, 0, 10.0);
+        let (loss, _) = softmax_cross_entropy(&logits, &[1]);
+        assert!(loss < 1e-3);
+    }
+
+    #[test]
+    fn softmax_ce_gradient_numeric() {
+        let logits = Tensor::from_vec(
+            Shape4::new(2, 3, 1, 1),
+            vec![0.5, -0.2, 0.1, 1.0, 0.0, -1.0],
+        );
+        let labels = [2usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-2;
+        for &(n, c) in &[(0usize, 0usize), (1, 2), (0, 2)] {
+            let mut lp = logits.clone();
+            lp.add_at(n, c, 0, 0, eps);
+            let mut lm = logits.clone();
+            lm.add_at(n, c, 0, 0, -eps);
+            let num = (softmax_cross_entropy(&lp, &labels).0
+                - softmax_cross_entropy(&lm, &labels).0)
+                / (2.0 * eps);
+            assert!((num - grad.at(n, c, 0, 0)).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn softmax_ce_stable_for_large_logits() {
+        let logits = Tensor::from_vec(Shape4::new(1, 2, 1, 1), vec![1000.0, -1000.0]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss.is_finite() && loss < 1e-3);
+        assert!(grad.data().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn bce_matches_manual() {
+        let logits = Tensor::from_vec(Shape4::new(2, 1, 1, 1), vec![0.0, 0.0]);
+        let (loss, grad) = bce_with_logits(&logits, &[1.0, 0.0]);
+        assert!((loss - 2.0f32.ln()).abs() < 1e-5);
+        assert!((grad.at(0, 0, 0, 0) + 0.25).abs() < 1e-5);
+        assert!((grad.at(1, 0, 0, 0) - 0.25).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bce_gradient_numeric() {
+        let logits = Tensor::from_vec(Shape4::new(3, 1, 1, 1), vec![0.7, -1.2, 2.0]);
+        let targets = [1.0f32, 0.0, 0.0];
+        let (_, grad) = bce_with_logits(&logits, &targets);
+        let eps = 1e-2;
+        for n in 0..3 {
+            let mut lp = logits.clone();
+            lp.add_at(n, 0, 0, 0, eps);
+            let mut lm = logits.clone();
+            lm.add_at(n, 0, 0, 0, -eps);
+            let num =
+                (bce_with_logits(&lp, &targets).0 - bce_with_logits(&lm, &targets).0) / (2.0 * eps);
+            assert!((num - grad.at(n, 0, 0, 0)).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn bce_stable_for_extreme_logits() {
+        let logits = Tensor::from_vec(Shape4::new(2, 1, 1, 1), vec![500.0, -500.0]);
+        let (loss, _) = bce_with_logits(&logits, &[1.0, 0.0]);
+        assert!(loss.is_finite() && loss < 1e-3);
+    }
+
+    #[test]
+    fn mse_and_gradient() {
+        let a = Tensor::from_vec(Shape4::new(1, 1, 1, 2), vec![1.0, 3.0]);
+        let b = Tensor::from_vec(Shape4::new(1, 1, 1, 2), vec![0.0, 0.0]);
+        let (loss, grad) = mse(&a, &b);
+        assert!((loss - 5.0).abs() < 1e-6);
+        assert_eq!(grad.data(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn wasserstein_critic_loss_and_grads() {
+        let real = Tensor::from_vec(Shape4::new(2, 1, 1, 1), vec![2.0, 4.0]);
+        let fake = Tensor::from_vec(Shape4::new(2, 1, 1, 1), vec![1.0, 1.0]);
+        let (loss, gr, gf) = wasserstein_critic(&real, &fake);
+        assert!((loss - (1.0 - 3.0)).abs() < 1e-6);
+        assert!(gr.data().iter().all(|&g| (g + 0.5).abs() < 1e-6));
+        assert!(gf.data().iter().all(|&g| (g - 0.5).abs() < 1e-6));
+    }
+
+    #[test]
+    fn wasserstein_generator_loss_and_grad() {
+        let fake = Tensor::from_vec(Shape4::new(4, 1, 1, 1), vec![1.0, 2.0, 3.0, 4.0]);
+        let (loss, g) = wasserstein_generator(&fake);
+        assert!((loss + 2.5).abs() < 1e-6);
+        assert!(g.data().iter().all(|&v| (v + 0.25).abs() < 1e-6));
+    }
+
+    #[test]
+    fn accuracy_counts_argmax() {
+        let logits = Tensor::from_vec(
+            Shape4::new(2, 3, 1, 1),
+            vec![0.1, 0.9, 0.0, 0.8, 0.1, 0.1],
+        );
+        assert_eq!(accuracy(&logits, &[1, 0]), 1.0);
+        assert_eq!(accuracy(&logits, &[0, 0]), 0.5);
+    }
+}

@@ -1,0 +1,198 @@
+//! Classification metrics beyond plain accuracy.
+
+use reram_tensor::Tensor;
+
+/// A confusion matrix over `classes` classes: `counts[actual][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    classes: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0`.
+    pub fn new(classes: usize) -> Self {
+        assert!(classes > 0, "need at least one class");
+        Self {
+            classes,
+            counts: vec![0; classes * classes],
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Records one `(actual, predicted)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either label is out of range.
+    pub fn record(&mut self, actual: usize, predicted: usize) {
+        assert!(
+            actual < self.classes && predicted < self.classes,
+            "labels ({actual}, {predicted}) out of range {}",
+            self.classes
+        );
+        self.counts[actual * self.classes + predicted] += 1;
+    }
+
+    /// Records a whole batch from logits and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree or a label is out of range.
+    pub fn record_batch(&mut self, logits: &Tensor, labels: &[usize]) {
+        let s = logits.shape();
+        assert_eq!(labels.len(), s.n, "one label per batch entry");
+        assert_eq!(s.c, self.classes, "logit classes vs matrix classes");
+        for (n, &actual) in labels.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_v = f32::NEG_INFINITY;
+            for c in 0..s.c {
+                let v = logits.at(n, c, 0, 0);
+                if v > best_v {
+                    best_v = v;
+                    best = c;
+                }
+            }
+            self.record(actual, best);
+        }
+    }
+
+    /// Count at `(actual, predicted)`.
+    pub fn at(&self, actual: usize, predicted: usize) -> u64 {
+        self.counts[actual * self.classes + predicted]
+    }
+
+    /// Total recorded samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (0 when empty).
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.classes).map(|c| self.at(c, c)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Precision of class `c` (`TP / (TP + FP)`; 0 when never predicted).
+    pub fn precision(&self, c: usize) -> f64 {
+        let predicted: u64 = (0..self.classes).map(|a| self.at(a, c)).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            self.at(c, c) as f64 / predicted as f64
+        }
+    }
+
+    /// Recall of class `c` (`TP / (TP + FN)`; 0 when never present).
+    pub fn recall(&self, c: usize) -> f64 {
+        let actual: u64 = (0..self.classes).map(|p| self.at(c, p)).sum();
+        if actual == 0 {
+            0.0
+        } else {
+            self.at(c, c) as f64 / actual as f64
+        }
+    }
+}
+
+/// Fraction of entries whose label ranks in the top `k` logits.
+///
+/// # Panics
+///
+/// Panics if `k == 0`, shapes disagree, or a label is out of range.
+pub fn top_k_accuracy(logits: &Tensor, labels: &[usize], k: usize) -> f32 {
+    assert!(k > 0, "k must be positive");
+    let s = logits.shape();
+    assert_eq!(labels.len(), s.n, "one label per batch entry");
+    let mut hits = 0usize;
+    for (n, &label) in labels.iter().enumerate() {
+        assert!(label < s.c, "label {label} out of range {}", s.c);
+        let target = logits.at(n, label, 0, 0);
+        let better = (0..s.c)
+            .filter(|&c| logits.at(n, c, 0, 0) > target)
+            .count();
+        hits += (better < k) as usize;
+    }
+    hits as f32 / s.n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reram_tensor::Shape4;
+
+    #[test]
+    fn confusion_counts_and_accuracy() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record(0, 0);
+        cm.record(0, 1);
+        cm.record(1, 1);
+        cm.record(2, 2);
+        assert_eq!(cm.total(), 4);
+        assert_eq!(cm.at(0, 1), 1);
+        assert!((cm.accuracy() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_and_recall() {
+        let mut cm = ConfusionMatrix::new(2);
+        // actual 0: predicted 0 twice, predicted 1 once.
+        cm.record(0, 0);
+        cm.record(0, 0);
+        cm.record(0, 1);
+        // actual 1: predicted 1 once.
+        cm.record(1, 1);
+        assert!((cm.recall(0) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.precision(1) - 0.5).abs() < 1e-12);
+        assert!((cm.precision(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_metrics_are_zero() {
+        let cm = ConfusionMatrix::new(4);
+        assert_eq!(cm.accuracy(), 0.0);
+        assert_eq!(cm.precision(0), 0.0);
+        assert_eq!(cm.recall(3), 0.0);
+    }
+
+    #[test]
+    fn record_batch_uses_argmax() {
+        let logits = Tensor::from_vec(
+            Shape4::new(2, 3, 1, 1),
+            vec![0.1, 0.9, 0.0, 0.8, 0.1, 0.1],
+        );
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record_batch(&logits, &[1, 2]);
+        assert_eq!(cm.at(1, 1), 1); // correct
+        assert_eq!(cm.at(2, 0), 1); // actual 2 predicted 0
+    }
+
+    #[test]
+    fn top_k() {
+        let logits = Tensor::from_vec(
+            Shape4::new(1, 4, 1, 1),
+            vec![0.4, 0.3, 0.2, 0.1],
+        );
+        assert_eq!(top_k_accuracy(&logits, &[0], 1), 1.0);
+        assert_eq!(top_k_accuracy(&logits, &[1], 1), 0.0);
+        assert_eq!(top_k_accuracy(&logits, &[1], 2), 1.0);
+        assert_eq!(top_k_accuracy(&logits, &[3], 4), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn record_rejects_bad_label() {
+        ConfusionMatrix::new(2).record(2, 0);
+    }
+}

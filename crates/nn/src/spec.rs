@@ -1,0 +1,382 @@
+//! Geometry descriptions of networks for architectural cost modelling.
+//!
+//! The accelerator (reram-core) and GPU baseline (reram-gpu) both cost a
+//! workload from its *shape* — layer topology, kernel sizes, feature-map
+//! extents — not from activation values. [`NetworkSpec`] captures exactly
+//! that, either extracted from a live [`crate::Network`] or constructed
+//! directly for timing-only runs of ImageNet-scale models whose activations
+//! we never materialize (see DESIGN.md, substitutions table).
+
+use reram_tensor::Shape4;
+
+/// Geometry of one architecturally visible layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerSpec {
+    /// Convolution: `in_c` channels of `in_h × in_w` → `out_c` channels.
+    Conv {
+        /// Input channels.
+        in_c: usize,
+        /// Output channels.
+        out_c: usize,
+        /// Kernel height/width (square kernels).
+        k: usize,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+        /// Input feature-map height.
+        in_h: usize,
+        /// Input feature-map width.
+        in_w: usize,
+    },
+    /// Fractional-strided convolution (GAN generator up-sampling, Fig. 7).
+    FracConv {
+        /// Input channels.
+        in_c: usize,
+        /// Output channels.
+        out_c: usize,
+        /// Kernel height/width (square kernels).
+        k: usize,
+        /// Up-sampling stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+        /// Input feature-map height.
+        in_h: usize,
+        /// Input feature-map width.
+        in_w: usize,
+    },
+    /// Fully connected / inner product layer (Eq. 2).
+    Fc {
+        /// Input features.
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+    },
+    /// Pooling over `k × k` windows.
+    Pool {
+        /// Channels.
+        c: usize,
+        /// Window size and stride.
+        k: usize,
+        /// Stride.
+        stride: usize,
+        /// Input height.
+        in_h: usize,
+        /// Input width.
+        in_w: usize,
+    },
+    /// Elementwise activation over `elems` values per batch entry.
+    Activation {
+        /// Elements per batch entry.
+        elems: usize,
+    },
+    /// Batch normalization over `elems` values per batch entry.
+    BatchNorm {
+        /// Elements per batch entry.
+        elems: usize,
+    },
+}
+
+impl LayerSpec {
+    /// Whether the layer holds crossbar-mapped weights (a pipeline stage in
+    /// the paper's Fig. 5 sense).
+    pub fn is_weighted(&self) -> bool {
+        matches!(
+            self,
+            LayerSpec::Conv { .. } | LayerSpec::FracConv { .. } | LayerSpec::Fc { .. }
+        )
+    }
+
+    /// Output spatial size of convolution-like layers, `None` otherwise.
+    pub fn conv_output_hw(&self) -> Option<(usize, usize)> {
+        match *self {
+            LayerSpec::Conv {
+                k,
+                stride,
+                pad,
+                in_h,
+                in_w,
+                ..
+            } => Some((
+                (in_h + 2 * pad - k) / stride + 1,
+                (in_w + 2 * pad - k) / stride + 1,
+            )),
+            LayerSpec::FracConv {
+                k,
+                stride,
+                pad,
+                in_h,
+                in_w,
+                ..
+            } => Some(((in_h - 1) * stride + k - 2 * pad, (in_w - 1) * stride + k - 2 * pad)),
+            LayerSpec::Pool {
+                k,
+                stride,
+                in_h,
+                in_w,
+                ..
+            } => Some(((in_h - k) / stride + 1, (in_w - k) / stride + 1)),
+            _ => None,
+        }
+    }
+
+    /// Weight-matrix dimensions `(rows, cols)` as mapped to crossbars:
+    /// rows = unrolled input vector length (wordlines), cols = output
+    /// channels / features (bitlines) — the paper's Fig. 4(a) mapping.
+    pub fn crossbar_matrix(&self) -> Option<(usize, usize)> {
+        match *self {
+            LayerSpec::Conv { in_c, out_c, k, .. } => Some((in_c * k * k, out_c)),
+            // FCNN forward is a conv over the dilated map with the same
+            // kernel volume (Fig. 7(a)).
+            LayerSpec::FracConv { in_c, out_c, k, .. } => Some((in_c * k * k, out_c)),
+            LayerSpec::Fc {
+                in_features,
+                out_features,
+            } => Some((in_features, out_features)),
+            _ => None,
+        }
+    }
+
+    /// Number of input vectors (crossbar MVMs) needed for one example's
+    /// forward pass through this layer — one per output spatial position
+    /// for convolutions (the paper's "12544 cycles" of Fig. 4(a)), one for
+    /// FC.
+    pub fn mvm_count(&self) -> Option<usize> {
+        match self {
+            LayerSpec::Conv { .. } | LayerSpec::FracConv { .. } => {
+                self.conv_output_hw().map(|(h, w)| h * w)
+            }
+            LayerSpec::Fc { .. } => Some(1),
+            _ => None,
+        }
+    }
+
+    /// Trainable parameter count (weights only; biases are negligible and
+    /// the paper neglects them "for express clarity", Fig. 4).
+    pub fn weight_count(&self) -> usize {
+        match *self {
+            LayerSpec::Conv { in_c, out_c, k, .. } | LayerSpec::FracConv { in_c, out_c, k, .. } => {
+                in_c * out_c * k * k
+            }
+            LayerSpec::Fc {
+                in_features,
+                out_features,
+            } => in_features * out_features,
+            LayerSpec::BatchNorm { elems } => 2 * elems,
+            _ => 0,
+        }
+    }
+
+    /// Multiply-accumulate operations of one example's forward pass.
+    pub fn forward_macs(&self) -> u64 {
+        match *self {
+            LayerSpec::Conv { in_c, out_c, k, .. } => {
+                let (oh, ow) = self.conv_output_hw().expect("conv has output hw");
+                (in_c * k * k * out_c * oh * ow) as u64
+            }
+            LayerSpec::FracConv { in_c, out_c, k, .. } => {
+                let (oh, ow) = self.conv_output_hw().expect("frac conv has output hw");
+                (in_c * k * k * out_c * oh * ow) as u64
+            }
+            LayerSpec::Fc {
+                in_features,
+                out_features,
+            } => (in_features * out_features) as u64,
+            LayerSpec::Pool { c, k, .. } => {
+                let (oh, ow) = self.conv_output_hw().expect("pool has output hw");
+                (c * k * k * oh * ow) as u64
+            }
+            LayerSpec::Activation { elems } | LayerSpec::BatchNorm { elems } => elems as u64,
+        }
+    }
+
+    /// Output elements per batch entry.
+    pub fn output_elems(&self) -> usize {
+        match *self {
+            LayerSpec::Conv { out_c, .. } | LayerSpec::FracConv { out_c, .. } => {
+                let (oh, ow) = self.conv_output_hw().expect("output hw");
+                out_c * oh * ow
+            }
+            LayerSpec::Fc { out_features, .. } => out_features,
+            LayerSpec::Pool { c, .. } => {
+                let (oh, ow) = self.conv_output_hw().expect("output hw");
+                c * oh * ow
+            }
+            LayerSpec::Activation { elems } | LayerSpec::BatchNorm { elems } => elems,
+        }
+    }
+}
+
+/// A whole network's geometry: ordered layer specs plus the input shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkSpec {
+    /// Network display name.
+    pub name: String,
+    /// Shape of one input batch entry (batch extent ignored).
+    pub input: Shape4,
+    /// Ordered layer geometries.
+    pub layers: Vec<LayerSpec>,
+}
+
+impl NetworkSpec {
+    /// Creates a named spec.
+    pub fn new(name: impl Into<String>, input: Shape4, layers: Vec<LayerSpec>) -> Self {
+        Self {
+            name: name.into(),
+            input,
+            layers,
+        }
+    }
+
+    /// Number of weighted layers — the `L` of the paper's pipeline cycle
+    /// formulas (§III-A.2).
+    pub fn weighted_layer_count(&self) -> usize {
+        self.layers.iter().filter(|l| l.is_weighted()).count()
+    }
+
+    /// Iterator over the weighted layers only.
+    pub fn weighted_layers(&self) -> impl Iterator<Item = &LayerSpec> {
+        self.layers.iter().filter(|l| l.is_weighted())
+    }
+
+    /// Total trainable parameters.
+    pub fn total_weights(&self) -> u64 {
+        self.layers.iter().map(|l| l.weight_count() as u64).sum()
+    }
+
+    /// Total forward multiply-accumulates for one example.
+    pub fn forward_macs(&self) -> u64 {
+        self.layers.iter().map(LayerSpec::forward_macs).sum()
+    }
+
+    /// Total training multiply-accumulates for one example.
+    ///
+    /// Backward ≈ 2× forward for weighted layers (input gradient + weight
+    /// gradient, each the same volume as the forward pass) — the standard
+    /// 3× rule for training FLOPs.
+    pub fn training_macs(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| {
+                if l.is_weighted() {
+                    3 * l.forward_macs()
+                } else {
+                    2 * l.forward_macs()
+                }
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_conv() -> LayerSpec {
+        // Fig. 4 example: 114x114x128 -> 112x112x256, 3x3 kernels.
+        LayerSpec::Conv {
+            in_c: 128,
+            out_c: 256,
+            k: 3,
+            stride: 1,
+            pad: 0,
+            in_h: 114,
+            in_w: 114,
+        }
+    }
+
+    #[test]
+    fn paper_fig4_numbers() {
+        let l = paper_conv();
+        assert_eq!(l.conv_output_hw(), Some((112, 112)));
+        assert_eq!(l.crossbar_matrix(), Some((1152, 256)));
+        assert_eq!(l.mvm_count(), Some(12544));
+        assert_eq!(l.weight_count(), 3 * 3 * 128 * 256);
+    }
+
+    #[test]
+    fn frac_conv_upsamples() {
+        let l = LayerSpec::FracConv {
+            in_c: 64,
+            out_c: 32,
+            k: 4,
+            stride: 2,
+            pad: 1,
+            in_h: 8,
+            in_w: 8,
+        };
+        assert_eq!(l.conv_output_hw(), Some((16, 16)));
+        assert!(l.is_weighted());
+        assert_eq!(l.crossbar_matrix(), Some((64 * 16, 32)));
+    }
+
+    #[test]
+    fn fc_is_single_mvm() {
+        let l = LayerSpec::Fc {
+            in_features: 1024,
+            out_features: 10,
+        };
+        assert_eq!(l.mvm_count(), Some(1));
+        assert_eq!(l.crossbar_matrix(), Some((1024, 10)));
+        assert_eq!(l.forward_macs(), 10240);
+    }
+
+    #[test]
+    fn pool_and_activation_unweighted() {
+        let p = LayerSpec::Pool {
+            c: 16,
+            k: 2,
+            stride: 2,
+            in_h: 8,
+            in_w: 8,
+        };
+        let a = LayerSpec::Activation { elems: 100 };
+        assert!(!p.is_weighted());
+        assert!(!a.is_weighted());
+        assert_eq!(p.conv_output_hw(), Some((4, 4)));
+        assert_eq!(p.output_elems(), 16 * 16);
+        assert_eq!(a.forward_macs(), 100);
+    }
+
+    #[test]
+    fn network_spec_counts_weighted_layers() {
+        let spec = NetworkSpec::new(
+            "toy",
+            Shape4::new(1, 1, 8, 8),
+            vec![
+                LayerSpec::Conv {
+                    in_c: 1,
+                    out_c: 4,
+                    k: 3,
+                    stride: 1,
+                    pad: 1,
+                    in_h: 8,
+                    in_w: 8,
+                },
+                LayerSpec::Activation { elems: 256 },
+                LayerSpec::Pool {
+                    c: 4,
+                    k: 2,
+                    stride: 2,
+                    in_h: 8,
+                    in_w: 8,
+                },
+                LayerSpec::Fc {
+                    in_features: 64,
+                    out_features: 10,
+                },
+            ],
+        );
+        assert_eq!(spec.weighted_layer_count(), 2);
+        assert_eq!(spec.total_weights(), (4 * 9 + 64 * 10) as u64);
+        assert!(spec.training_macs() > 2 * spec.forward_macs());
+    }
+
+    #[test]
+    fn conv_macs_match_paper_example_scale() {
+        // AlexNet-era sanity: the Fig. 4 layer alone is ~3.7 GMAC.
+        let macs = paper_conv().forward_macs();
+        assert_eq!(macs, 1152 * 256 * 12544);
+    }
+}

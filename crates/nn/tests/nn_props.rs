@@ -1,0 +1,111 @@
+//! Property-based tests of network-level invariants.
+
+use proptest::prelude::*;
+use reram_nn::layers::{ActivationLayer, Conv2d, Flatten, Linear, Pool2d};
+use reram_nn::losses::softmax_cross_entropy;
+use reram_nn::{models, Network};
+use reram_tensor::{init, Shape4, Tensor};
+
+fn random_net(seed: u64, in_hw: usize, classes: usize) -> Network {
+    let mut rng = init::seeded_rng(seed);
+    Network::new("prop", Shape4::new(1, 1, in_hw, in_hw))
+        .push(Conv2d::new(1, 3, 3, 1, 1, &mut rng))
+        .push(ActivationLayer::relu())
+        .push(Pool2d::max(2))
+        .push(Flatten::new())
+        .push(Linear::new(3 * (in_hw / 2) * (in_hw / 2), classes, &mut rng))
+}
+
+fn random_input(seed: u64, n: usize, hw: usize) -> Tensor {
+    let mut rng = init::seeded_rng(seed.wrapping_add(1000));
+    init::uniform(Shape4::new(n, 1, hw, hw), -1.0, 1.0, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Inference is deterministic: same input, same output, every time.
+    #[test]
+    fn inference_is_deterministic(seed in 0u64..100) {
+        let mut net = random_net(seed, 8, 3);
+        let x = random_input(seed, 2, 8);
+        let a = net.forward(&x, false);
+        let b = net.forward(&x, false);
+        prop_assert_eq!(a, b);
+    }
+
+    /// A training forward equals an inference forward for nets without
+    /// stochastic or statistics-dependent layers.
+    #[test]
+    fn train_forward_equals_eval_forward(seed in 0u64..100) {
+        let mut net = random_net(seed, 8, 3);
+        let x = random_input(seed, 2, 8);
+        let train = net.forward(&x, true);
+        let eval = net.forward(&x, false);
+        prop_assert_eq!(train, eval);
+    }
+
+    /// apply_update with zero learning rate changes nothing.
+    #[test]
+    fn zero_lr_update_is_identity(seed in 0u64..100) {
+        let mut net = random_net(seed, 8, 3);
+        let x = random_input(seed, 2, 8);
+        let before = net.forward(&x, true);
+        let (_, grad) = softmax_cross_entropy(&before, &[0, 1]);
+        net.backward(&grad);
+        net.apply_update(0.0);
+        let after = net.forward(&x, false);
+        prop_assert_eq!(before, after);
+    }
+
+    /// One SGD step on a batch reduces that batch's loss for a small
+    /// enough learning rate.
+    #[test]
+    fn small_step_descends(seed in 0u64..60) {
+        let mut net = random_net(seed, 8, 3);
+        let x = random_input(seed, 3, 8);
+        let labels = [0usize, 1, 2];
+        let y = net.forward(&x, true);
+        let (before, grad) = softmax_cross_entropy(&y, &labels);
+        net.backward(&grad);
+        net.apply_update(1e-2);
+        let (after, _) = softmax_cross_entropy(&net.forward(&x, false), &labels);
+        prop_assert!(after <= before + 1e-6, "loss rose: {before} -> {after}");
+    }
+
+    /// The gradient w.r.t. the input has the input's shape, for both CNN
+    /// and GAN topologies.
+    #[test]
+    fn input_gradient_shape(seed in 0u64..50) {
+        let mut net = random_net(seed, 8, 3);
+        let x = random_input(seed, 2, 8);
+        let y = net.forward(&x, true);
+        let (_, grad) = softmax_cross_entropy(&y, &[0, 2]);
+        let gin = net.backward(&grad);
+        prop_assert_eq!(gin.shape(), x.shape());
+    }
+
+    /// Spec extraction is stable: the same constructor yields the same
+    /// geometry regardless of RNG seed (weights differ, shapes don't).
+    #[test]
+    fn spec_independent_of_weights(a in 0u64..50, b in 50u64..100) {
+        let na = random_net(a, 8, 3);
+        let nb = random_net(b, 8, 3);
+        prop_assert_eq!(na.spec().layers, nb.spec().layers);
+    }
+
+    /// Model-zoo specs have consistent MAC accounting: training MACs are
+    /// between 2x and 3x forward MACs.
+    #[test]
+    fn training_mac_ratio_bounded(idx in 0usize..4) {
+        let spec = match idx {
+            0 => models::lenet_spec(),
+            1 => models::mnist_deep_spec(),
+            2 => models::alexnet_spec(),
+            _ => models::vgg_a_spec(),
+        };
+        let f = spec.forward_macs() as f64;
+        let t = spec.training_macs() as f64;
+        prop_assert!(t >= 2.0 * f && t <= 3.0 * f, "ratio {}", t / f);
+    }
+}

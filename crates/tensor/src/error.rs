@@ -1,0 +1,66 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when tensor shapes are incompatible for an operation.
+///
+/// Carries the operation name and a human-readable description of the
+/// offending shapes so failures in deep call stacks stay diagnosable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    op: &'static str,
+    detail: String,
+}
+
+impl ShapeError {
+    /// Creates a shape error for operation `op` with a free-form detail.
+    pub fn new(op: &'static str, detail: impl Into<String>) -> Self {
+        Self {
+            op,
+            detail: detail.into(),
+        }
+    }
+
+    /// The operation that rejected the shapes.
+    pub fn op(&self) -> &'static str {
+        self.op
+    }
+
+    /// Human-readable description of the shape mismatch.
+    pub fn detail(&self) -> &str {
+        &self.detail
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shape mismatch in {}: {}", self.op, self.detail)
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_op_and_detail() {
+        let e = ShapeError::new("conv2d", "kernel larger than input");
+        let s = e.to_string();
+        assert!(s.contains("conv2d"));
+        assert!(s.contains("kernel larger than input"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShapeError>();
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let e = ShapeError::new("matmul", "2x3 vs 4x5");
+        assert_eq!(e.op(), "matmul");
+        assert_eq!(e.detail(), "2x3 vs 4x5");
+    }
+}

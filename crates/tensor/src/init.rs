@@ -1,0 +1,117 @@
+//! Parameter initializers.
+//!
+//! Weight initialization determines whether the training runs the paper's
+//! accelerators execute actually converge; we provide the standard schemes
+//! used by the paper's workloads (uniform Xavier/Glorot for CONV/FC, small
+//! normal for GAN layers following the DCGAN recipe).
+
+use crate::{Shape2, Shape4, Tensor};
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG for reproducible experiments.
+///
+/// All randomness in the workspace flows from explicitly seeded generators so
+/// every experiment in `EXPERIMENTS.md` is exactly re-runnable.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Xavier/Glorot uniform initialization for a 4-D kernel tensor.
+///
+/// `fan_in = c * h * w`, `fan_out = n * h * w` for a kernel laid out
+/// `(C_out, C_in, K_h, K_w)`; limit is `sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(shape: Shape4, rng: &mut impl Rng) -> Tensor {
+    let fan_in = (shape.c * shape.h * shape.w).max(1);
+    let fan_out = (shape.n * shape.h * shape.w).max(1);
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    let dist = Uniform::new_inclusive(-limit, limit);
+    Tensor::from_fn(shape, |_, _, _, _| dist.sample(rng))
+}
+
+/// Xavier/Glorot uniform initialization for a weight matrix
+/// (`rows = outputs`, `cols = inputs`).
+pub fn xavier_uniform_matrix(shape: Shape2, rng: &mut impl Rng) -> crate::Matrix {
+    let limit = (6.0 / (shape.rows + shape.cols) as f32).sqrt();
+    let dist = Uniform::new_inclusive(-limit, limit);
+    crate::Matrix::from_fn(shape, |_, _| dist.sample(rng))
+}
+
+/// Zero-mean normal initialization with standard deviation `std`.
+///
+/// DCGAN initializes all weights from N(0, 0.02); the Box–Muller transform
+/// keeps us off any external distribution crates.
+pub fn normal(shape: Shape4, std: f32, rng: &mut impl Rng) -> Tensor {
+    Tensor::from_fn(shape, |_, _, _, _| std * standard_normal(rng))
+}
+
+/// One sample from the standard normal distribution via Box–Muller.
+pub fn standard_normal(rng: &mut impl Rng) -> f32 {
+    // Guard the logarithm against u1 == 0.
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Uniform initialization in `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn uniform(shape: Shape4, lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+    assert!(lo < hi, "uniform: empty range [{lo}, {hi})");
+    let dist = Uniform::new(lo, hi);
+    Tensor::from_fn(shape, |_, _, _, _| dist.sample(rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let a = xavier_uniform(Shape4::new(2, 3, 3, 3), &mut seeded_rng(7));
+        let b = xavier_uniform(Shape4::new(2, 3, 3, 3), &mut seeded_rng(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn xavier_respects_limit() {
+        let shape = Shape4::new(4, 8, 3, 3);
+        let fan_in = 8 * 9;
+        let fan_out = 4 * 9;
+        let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        let t = xavier_uniform(shape, &mut seeded_rng(1));
+        assert!(t.abs_max() <= limit);
+        // Not degenerate: some spread exists.
+        assert!(t.abs_max() > limit / 100.0);
+    }
+
+    #[test]
+    fn xavier_matrix_respects_limit() {
+        let m = xavier_uniform_matrix(Shape2::new(10, 20), &mut seeded_rng(2));
+        let limit = (6.0 / 30.0f32).sqrt();
+        assert!(m.abs_max() <= limit);
+    }
+
+    #[test]
+    fn normal_has_reasonable_moments() {
+        let t = normal(Shape4::new(1, 1, 100, 100), 0.02, &mut seeded_rng(3));
+        assert!(t.mean().abs() < 0.005, "mean {}", t.mean());
+        let var = t.data().iter().map(|x| x * x).sum::<f32>() / t.len() as f32;
+        assert!((var.sqrt() - 0.02).abs() < 0.005, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let t = uniform(Shape4::new(1, 1, 10, 10), -1.0, 1.0, &mut seeded_rng(4));
+        assert!(t.data().iter().all(|&x| (-1.0..1.0).contains(&x)));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn uniform_rejects_inverted_range() {
+        let _ = uniform(Shape4::new(1, 1, 1, 1), 1.0, 1.0, &mut seeded_rng(5));
+    }
+}

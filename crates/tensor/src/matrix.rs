@@ -1,0 +1,281 @@
+use crate::Shape2;
+use std::fmt;
+
+/// Dense row-major 2-D matrix of `f32`.
+///
+/// Used for inner-product (fully connected) weights `W` of Eq. 2 and for the
+/// matrices mapped onto ReRAM crossbars (paper Fig. 3): rows correspond to
+/// wordlines (inputs) and columns to bitlines (outputs) after the transpose
+/// performed by the mapping layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    shape: Shape2,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero-filled matrix.
+    pub fn zeros(shape: Shape2) -> Self {
+        Self {
+            shape,
+            data: vec![0.0; shape.len()],
+        }
+    }
+
+    /// Creates a matrix from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != shape.len()`.
+    pub fn from_vec(shape: Shape2, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "data length {} does not match shape {shape}",
+            data.len()
+        );
+        Self { shape, data }
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` everywhere.
+    pub fn from_fn(shape: Shape2, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(shape.len());
+        for r in 0..shape.rows {
+            for c in 0..shape.cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { shape, data }
+    }
+
+    /// Identity matrix of size `n × n`.
+    pub fn identity(n: usize) -> Self {
+        Self::from_fn(Shape2::new(n, n), |r, c| if r == c { 1.0 } else { 0.0 })
+    }
+
+    /// The matrix shape.
+    pub fn shape(&self) -> Shape2 {
+        self.shape
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.shape.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.shape.cols
+    }
+
+    /// Row-major backing data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable row-major backing data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of range.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        self.data[self.shape.index(r, c)]
+    }
+
+    /// Sets the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of range.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        let i = self.shape.index(r, c);
+        self.data[i] = v;
+    }
+
+    /// Borrow of row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.shape.rows, "row {r} out of range {}", self.shape);
+        &self.data[r * self.shape.cols..(r + 1) * self.shape.cols]
+    }
+
+    /// Matrix-vector product `self * x`.
+    ///
+    /// This is the operation a ReRAM crossbar computes in one analog step
+    /// (paper §II-B): `x` drives the wordlines, the result is read on the
+    /// bitlines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(
+            x.len(),
+            self.shape.cols,
+            "matvec: vector length {} vs {} columns",
+            x.len(),
+            self.shape.cols
+        );
+        (0..self.shape.rows)
+            .map(|r| {
+                self.row(r)
+                    .iter()
+                    .zip(x)
+                    .map(|(&w, &v)| w * v)
+                    .sum::<f32>()
+            })
+            .collect()
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.shape.cols,
+            rhs.shape.rows,
+            "matmul: {} x {}",
+            self.shape,
+            rhs.shape
+        );
+        let out_shape = Shape2::new(self.shape.rows, rhs.shape.cols);
+        let mut out = Matrix::zeros(out_shape);
+        for r in 0..self.shape.rows {
+            for k in 0..self.shape.cols {
+                let a = self.at(r, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..rhs.shape.cols {
+                    out.data[out_shape.index(r, c)] += a * rhs.at(k, c);
+                }
+            }
+        }
+        out
+    }
+
+    /// The transposed matrix.
+    pub fn transposed(&self) -> Matrix {
+        Matrix::from_fn(self.shape.transposed(), |r, c| self.at(c, r))
+    }
+
+    /// A sub-block `[row0, row0+rows) × [col0, col0+cols)`, zero-padded where
+    /// the requested block extends past the matrix edge.
+    ///
+    /// This is the partitioning of a large matrix into fixed-size crossbar
+    /// arrays shown in the paper's Fig. 3(c).
+    pub fn block_padded(&self, row0: usize, col0: usize, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_fn(Shape2::new(rows, cols), |r, c| {
+            let (rr, cc) = (row0 + r, col0 + c);
+            if rr < self.shape.rows && cc < self.shape.cols {
+                self.at(rr, cc)
+            } else {
+                0.0
+            }
+        })
+    }
+
+    /// Largest absolute element value (0 for an empty matrix).
+    pub fn abs_max(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Matrix{}", self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_vec(Shape2::new(2, 3), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    }
+
+    #[test]
+    fn accessors() {
+        let m = sample();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.at(1, 2), 6.0);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let m = sample();
+        let y = m.matvec(&[1.0, 0.0, -1.0]);
+        assert_eq!(y, vec![-2.0, -2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matvec")]
+    fn matvec_rejects_bad_len() {
+        let _ = sample().matvec(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let m = sample();
+        let i = Matrix::identity(3);
+        assert_eq!(m.matmul(&i), m);
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = Matrix::from_vec(Shape2::new(2, 2), vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_vec(Shape2::new(2, 2), vec![5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = sample();
+        assert_eq!(m.transposed().transposed(), m);
+    }
+
+    #[test]
+    fn transpose_matvec_consistency() {
+        // (A^T x)_j = sum_i A_ij x_i
+        let m = sample();
+        let y = m.transposed().matvec(&[1.0, 1.0]);
+        assert_eq!(y, vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn block_padded_interior_and_edge() {
+        let m = sample();
+        let b = m.block_padded(0, 1, 2, 2);
+        assert_eq!(b.data(), &[2.0, 3.0, 5.0, 6.0]);
+        let edge = m.block_padded(1, 2, 2, 2);
+        assert_eq!(edge.data(), &[6.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn identity_matvec_is_identity() {
+        let x = vec![3.0, -1.0, 2.0];
+        assert_eq!(Matrix::identity(3).matvec(&x), x);
+    }
+
+    #[test]
+    fn abs_max_sees_negatives() {
+        let m = Matrix::from_vec(Shape2::new(1, 3), vec![1.0, -7.0, 2.0]);
+        assert_eq!(m.abs_max(), 7.0);
+    }
+}

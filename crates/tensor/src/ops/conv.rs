@@ -1,0 +1,421 @@
+//! Convolution forward and backward kernels (paper Eq. 1).
+//!
+//! Weight layout is `(C_out, C_in, K_h, K_w)`. The forward direct loop mirrors
+//! Eq. 1 of the paper; `im2col` produces exactly the unrolled input vectors
+//! that PipeLayer feeds to the crossbar wordlines (the `1152 × 1` yellow bar
+//! of Fig. 4: one column per output position, `C_in * K_h * K_w` rows).
+
+use crate::{Matrix, Shape2, Shape4, Tensor};
+
+/// Output spatial size of a convolution.
+///
+/// # Panics
+///
+/// Panics if `stride == 0` or the kernel does not fit in the padded input.
+pub fn conv_output_hw(
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> (usize, usize) {
+    assert!(stride > 0, "conv stride must be positive");
+    assert!(
+        h + 2 * pad >= kh && w + 2 * pad >= kw,
+        "kernel {kh}x{kw} larger than padded input {}x{}",
+        h + 2 * pad,
+        w + 2 * pad
+    );
+    ((h + 2 * pad - kh) / stride + 1, (w + 2 * pad - kw) / stride + 1)
+}
+
+/// 2-D convolution forward pass.
+///
+/// `input` is `(N, C_in, H, W)`, `weight` is `(C_out, C_in, K_h, K_w)`,
+/// `bias` (if any) has `C_out` entries. Returns `(N, C_out, H', W')`.
+///
+/// # Panics
+///
+/// Panics if the channel counts disagree, the bias length is not `C_out`,
+/// or the kernel does not fit.
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    let is = input.shape();
+    let ws = weight.shape();
+    assert_eq!(
+        is.c, ws.c,
+        "conv2d: input channels {} vs kernel channels {}",
+        is.c, ws.c
+    );
+    if let Some(b) = bias {
+        assert_eq!(b.len(), ws.n, "conv2d: bias length {} vs C_out {}", b.len(), ws.n);
+    }
+    let (oh, ow) = conv_output_hw(is.h, is.w, ws.h, ws.w, stride, pad);
+    let mut out = Tensor::zeros(Shape4::new(is.n, ws.n, oh, ow));
+
+    for n in 0..is.n {
+        for co in 0..ws.n {
+            let b = bias.map_or(0.0, |b| b[co]);
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = b;
+                    for ci in 0..is.c {
+                        for ky in 0..ws.h {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            if iy < 0 || iy >= is.h as isize {
+                                continue;
+                            }
+                            for kx in 0..ws.w {
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if ix < 0 || ix >= is.w as isize {
+                                    continue;
+                                }
+                                acc += weight.at(co, ci, ky, kx)
+                                    * input.at(n, ci, iy as usize, ix as usize);
+                            }
+                        }
+                    }
+                    out.set(n, co, oy, ox, acc);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Gradient of the convolution with respect to its input.
+///
+/// This is itself a convolution: the upstream gradient, dilated by the
+/// forward stride, convolved with the 180°-rotated kernel — exactly the
+/// property that lets PipeLayer run back-propagation on the same crossbars
+/// (§II-A.2). Implemented as a direct scatter for clarity and exactness.
+pub fn conv2d_backward_input(
+    grad_out: &Tensor,
+    weight: &Tensor,
+    stride: usize,
+    pad: usize,
+    input_shape: Shape4,
+) -> Tensor {
+    let gs = grad_out.shape();
+    let ws = weight.shape();
+    assert_eq!(gs.c, ws.n, "backward_input: grad channels {} vs C_out {}", gs.c, ws.n);
+    assert_eq!(
+        input_shape.c, ws.c,
+        "backward_input: input channels {} vs kernel channels {}",
+        input_shape.c, ws.c
+    );
+    let mut gin = Tensor::zeros(input_shape);
+    for n in 0..gs.n {
+        for co in 0..ws.n {
+            for oy in 0..gs.h {
+                for ox in 0..gs.w {
+                    let g = grad_out.at(n, co, oy, ox);
+                    if g == 0.0 {
+                        continue;
+                    }
+                    for ci in 0..ws.c {
+                        for ky in 0..ws.h {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            if iy < 0 || iy >= input_shape.h as isize {
+                                continue;
+                            }
+                            for kx in 0..ws.w {
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if ix < 0 || ix >= input_shape.w as isize {
+                                    continue;
+                                }
+                                gin.add_at(
+                                    n,
+                                    ci,
+                                    iy as usize,
+                                    ix as usize,
+                                    g * weight.at(co, ci, ky, kx),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    gin
+}
+
+/// Gradient of the convolution with respect to its weights.
+///
+/// The paper notes (§II-A.2) that "the weight updates depend on the previous
+/// layer's errors and the input data of the earlier forward phase": this is
+/// that cross-correlation between the stored forward activations and the
+/// back-propagated error.
+pub fn conv2d_backward_weight(
+    grad_out: &Tensor,
+    input: &Tensor,
+    weight_shape: Shape4,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    let gs = grad_out.shape();
+    let is = input.shape();
+    assert_eq!(gs.n, is.n, "backward_weight: batch {} vs {}", gs.n, is.n);
+    assert_eq!(gs.c, weight_shape.n, "backward_weight: grad channels vs C_out");
+    assert_eq!(is.c, weight_shape.c, "backward_weight: input channels vs C_in");
+    let mut gw = Tensor::zeros(weight_shape);
+    for n in 0..gs.n {
+        for co in 0..weight_shape.n {
+            for oy in 0..gs.h {
+                for ox in 0..gs.w {
+                    let g = grad_out.at(n, co, oy, ox);
+                    if g == 0.0 {
+                        continue;
+                    }
+                    for ci in 0..weight_shape.c {
+                        for ky in 0..weight_shape.h {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            if iy < 0 || iy >= is.h as isize {
+                                continue;
+                            }
+                            for kx in 0..weight_shape.w {
+                                let ix = (ox * stride + kx) as isize - pad as isize;
+                                if ix < 0 || ix >= is.w as isize {
+                                    continue;
+                                }
+                                gw.add_at(
+                                    co,
+                                    ci,
+                                    ky,
+                                    kx,
+                                    g * input.at(n, ci, iy as usize, ix as usize),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    gw
+}
+
+/// Gradient of the convolution with respect to its bias: per-output-channel
+/// sum of the upstream gradient.
+pub fn conv2d_backward_bias(grad_out: &Tensor) -> Vec<f32> {
+    let gs = grad_out.shape();
+    let mut gb = vec![0.0; gs.c];
+    for n in 0..gs.n {
+        for c in 0..gs.c {
+            for h in 0..gs.h {
+                for w in 0..gs.w {
+                    gb[c] += grad_out.at(n, c, h, w);
+                }
+            }
+        }
+    }
+    gb
+}
+
+/// Unrolls a single batch entry into the matrix of crossbar input vectors.
+///
+/// Row `i` of the result is the flattened receptive field of output position
+/// `i` (`oy * W' + ox`), with `C_in * K_h * K_w` columns ordered
+/// channel-major — the same ordering in which PipeLayer maps one kernel onto
+/// one bitline (Fig. 4(a)). `conv2d` then factors as
+/// `im2col(x) * kernel_matrix`, which is what the crossbar computes.
+///
+/// # Panics
+///
+/// Panics if `n` is out of range or the kernel does not fit.
+pub fn im2col(
+    input: &Tensor,
+    n: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> Matrix {
+    let is = input.shape();
+    assert!(n < is.n, "im2col: batch entry {n} out of range {is}");
+    let (oh, ow) = conv_output_hw(is.h, is.w, kh, kw, stride, pad);
+    let cols = is.c * kh * kw;
+    let mut m = Matrix::zeros(Shape2::new(oh * ow, cols));
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let row = oy * ow + ox;
+            for ci in 0..is.c {
+                for ky in 0..kh {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    for kx in 0..kw {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        let v = if iy >= 0 && iy < is.h as isize && ix >= 0 && ix < is.w as isize {
+                            input.at(n, ci, iy as usize, ix as usize)
+                        } else {
+                            0.0
+                        };
+                        m.set(row, (ci * kh + ky) * kw + kx, v);
+                    }
+                }
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(shape: Shape4) -> Tensor {
+        let len = shape.len();
+        Tensor::from_vec(shape, (0..len).map(|i| i as f32 * 0.1).collect())
+    }
+
+    #[test]
+    fn output_hw_formula() {
+        assert_eq!(conv_output_hw(114, 114, 3, 3, 1, 0), (112, 112));
+        assert_eq!(conv_output_hw(28, 28, 5, 5, 1, 2), (28, 28));
+        assert_eq!(conv_output_hw(32, 32, 4, 4, 2, 1), (16, 16));
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than padded input")]
+    fn output_hw_rejects_oversized_kernel() {
+        let _ = conv_output_hw(2, 2, 5, 5, 1, 0);
+    }
+
+    #[test]
+    fn conv_identity_kernel() {
+        // 1x1 kernel of value 1 reproduces the input.
+        let x = seq(Shape4::new(1, 1, 3, 3));
+        let k = Tensor::ones(Shape4::new(1, 1, 1, 1));
+        assert_eq!(conv2d(&x, &k, None, 1, 0), x);
+    }
+
+    #[test]
+    fn conv_sums_receptive_field() {
+        let x = Tensor::ones(Shape4::new(1, 2, 4, 4));
+        let k = Tensor::ones(Shape4::new(3, 2, 3, 3));
+        let y = conv2d(&x, &k, None, 1, 0);
+        assert_eq!(y.shape(), Shape4::new(1, 3, 2, 2));
+        // 2 channels * 3*3 window of ones.
+        assert!(y.data().iter().all(|&v| v == 18.0));
+    }
+
+    #[test]
+    fn conv_bias_added_per_channel() {
+        let x = Tensor::zeros(Shape4::new(1, 1, 3, 3));
+        let k = Tensor::ones(Shape4::new(2, 1, 3, 3));
+        let y = conv2d(&x, &k, Some(&[1.5, -2.0]), 1, 0);
+        assert_eq!(y.at(0, 0, 0, 0), 1.5);
+        assert_eq!(y.at(0, 1, 0, 0), -2.0);
+    }
+
+    #[test]
+    fn conv_stride_and_pad() {
+        let x = seq(Shape4::new(1, 1, 4, 4));
+        let k = Tensor::ones(Shape4::new(1, 1, 3, 3));
+        let y = conv2d(&x, &k, None, 2, 1);
+        assert_eq!(y.shape(), Shape4::new(1, 1, 2, 2));
+        // Top-left window covers rows/cols -1..=1 with zero padding:
+        // elements (0,0),(0,1),(1,0),(1,1) = 0.0,0.1,0.4,0.5 -> 1.0
+        assert!((y.at(0, 0, 0, 0) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn im2col_factors_convolution() {
+        let x = seq(Shape4::new(2, 3, 5, 5));
+        let k = seq(Shape4::new(4, 3, 3, 3));
+        let y = conv2d(&x, &k, None, 2, 1);
+        let ks = k.shape();
+        // kernel matrix: (C_in*Kh*Kw) x C_out, column co = flattened kernel co
+        let kmat = Matrix::from_fn(
+            Shape2::new(ks.c * ks.h * ks.w, ks.n),
+            |r, co| {
+                let ci = r / (ks.h * ks.w);
+                let rem = r % (ks.h * ks.w);
+                k.at(co, ci, rem / ks.w, rem % ks.w)
+            },
+        );
+        for n in 0..2 {
+            let cols = im2col(&x, n, 3, 3, 2, 1);
+            let prod = cols.matmul(&kmat); // (oh*ow) x C_out
+            let ys = y.shape();
+            for co in 0..ys.c {
+                for oy in 0..ys.h {
+                    for ox in 0..ys.w {
+                        let want = y.at(n, co, oy, ox);
+                        let got = prod.at(oy * ys.w + ox, co);
+                        assert!((want - got).abs() < 1e-3, "mismatch {want} vs {got}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backward_input_matches_numeric_gradient() {
+        let x = seq(Shape4::new(1, 2, 4, 4));
+        let k = seq(Shape4::new(2, 2, 3, 3));
+        let g = Tensor::ones(conv2d(&x, &k, None, 1, 1).shape());
+        let gin = conv2d_backward_input(&g, &k, 1, 1, x.shape());
+        // Numeric check at several positions: d(sum(y))/dx_i
+        let eps = 1e-2;
+        for &(c, h, w) in &[(0usize, 0usize, 0usize), (1, 2, 3), (0, 3, 1)] {
+            let mut xp = x.clone();
+            xp.add_at(0, c, h, w, eps);
+            let mut xm = x.clone();
+            xm.add_at(0, c, h, w, -eps);
+            let num = (conv2d(&xp, &k, None, 1, 1).sum() - conv2d(&xm, &k, None, 1, 1).sum())
+                / (2.0 * eps);
+            let tol = 1e-2 * num.abs().max(1.0);
+            assert!(
+                (num - gin.at(0, c, h, w)).abs() < tol,
+                "numeric {num} vs analytic {}",
+                gin.at(0, c, h, w)
+            );
+        }
+    }
+
+    #[test]
+    fn backward_weight_matches_numeric_gradient() {
+        let x = seq(Shape4::new(2, 2, 4, 4));
+        let k = seq(Shape4::new(2, 2, 3, 3));
+        let g = Tensor::ones(conv2d(&x, &k, None, 2, 1).shape());
+        let gw = conv2d_backward_weight(&g, &x, k.shape(), 2, 1);
+        let eps = 1e-2;
+        for &(co, ci, ky, kx) in &[(0usize, 0usize, 0usize, 0usize), (1, 1, 2, 2), (0, 1, 1, 0)] {
+            let mut kp = k.clone();
+            kp.add_at(co, ci, ky, kx, eps);
+            let mut km = k.clone();
+            km.add_at(co, ci, ky, kx, -eps);
+            let num = (conv2d(&x, &kp, None, 2, 1).sum() - conv2d(&x, &km, None, 2, 1).sum())
+                / (2.0 * eps);
+            assert!(
+                (num - gw.at(co, ci, ky, kx)).abs() < 1e-1,
+                "numeric {num} vs analytic {}",
+                gw.at(co, ci, ky, kx)
+            );
+        }
+    }
+
+    #[test]
+    fn backward_bias_sums_gradient() {
+        let g = Tensor::ones(Shape4::new(2, 3, 2, 2));
+        assert_eq!(conv2d_backward_bias(&g), vec![8.0, 8.0, 8.0]);
+    }
+
+    #[test]
+    fn paper_fig4_example_dimensions() {
+        // Paper Fig. 4: layer l data 114x114x128, kernels 3x3x128x256,
+        // layer l+1 data 112x112x256; unrolled input vector 1152x1;
+        // 12544 = 112*112 output positions.
+        let (oh, ow) = conv_output_hw(114, 114, 3, 3, 1, 0);
+        assert_eq!((oh, ow), (112, 112));
+        assert_eq!(oh * ow, 12544);
+        assert_eq!(128 * 3 * 3, 1152);
+    }
+}

@@ -1,0 +1,278 @@
+//! Fractional-strided ("transposed") convolution — paper §II-A.3 and Fig. 7.
+//!
+//! The GAN generator up-samples with fractional-strided convolution layers
+//! (FCNN). The paper's key observation (Fig. 7) is that
+//!
+//! * the **forward** pass equals an ordinary convolution after inserting
+//!   zeros between the input elements and zero-padding the result — so the
+//!   same ReRAM crossbar datapath used for CONV serves FCNN unchanged, and
+//! * the **error back-propagation** is a typical *strided* convolution.
+//!
+//! We implement the forward pass literally by that zero-insertion
+//! construction (so the architectural cost model sees a plain convolution of
+//! the dilated feature map) and the backward passes as the strided
+//! convolutions the paper describes.
+
+use super::{conv2d, conv2d_backward_weight, dilate, rotate180, zero_pad};
+use crate::{Shape4, Tensor};
+
+/// Output spatial size of a fractional-strided convolution.
+///
+/// `(H-1)*stride - 2*pad + K` — the inverse of the conv output formula.
+///
+/// # Panics
+///
+/// Panics if `stride == 0` or the padding exceeds the produced extent.
+pub fn conv_transpose_output_hw(
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> (usize, usize) {
+    assert!(stride > 0, "conv_transpose stride must be positive");
+    let oh = (h - 1) * stride + kh;
+    let ow = (w - 1) * stride + kw;
+    assert!(
+        oh > 2 * pad && ow > 2 * pad,
+        "padding {pad} exceeds transposed output {oh}x{ow}"
+    );
+    (oh - 2 * pad, ow - 2 * pad)
+}
+
+/// Fractional-strided convolution forward pass (Fig. 7(a)).
+///
+/// `input` is `(N, C_in, H, W)`; `weight` is `(C_in, C_out, K_h, K_w)`
+/// (transposed-convolution layout); `bias` has `C_out` entries. Built as:
+/// dilate the input by `stride`, pad by `K-1-pad`, then run a unit-stride
+/// convolution with the 180°-rotated, channel-swapped kernel.
+///
+/// # Panics
+///
+/// Panics if channel counts disagree or `pad >= K` on either axis.
+pub fn conv_transpose2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&[f32]>,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    let is = input.shape();
+    let ws = weight.shape(); // (C_in, C_out, kh, kw)
+    assert_eq!(
+        is.c, ws.n,
+        "conv_transpose2d: input channels {} vs kernel C_in {}",
+        is.c, ws.n
+    );
+    assert!(
+        pad < ws.h && pad < ws.w,
+        "conv_transpose2d: pad {pad} must be < kernel {}x{}",
+        ws.h,
+        ws.w
+    );
+    // Swap channel roles and rotate spatially: conv kernel (C_out, C_in, kh, kw).
+    let conv_kernel = rotate180(&swap_channel_axes(weight));
+    let dilated = dilate(input, stride);
+    let padded = zero_pad(&dilated, ws.h - 1 - pad);
+    let out = conv2d(&padded, &conv_kernel, bias, 1, 0);
+    debug_assert_eq!(
+        (out.shape().h, out.shape().w),
+        conv_transpose_output_hw(is.h, is.w, ws.h, ws.w, stride, pad)
+    );
+    out
+}
+
+/// Gradient of the fractional-strided convolution w.r.t. its input.
+///
+/// This is the "typical convolution with strides" of Fig. 7(b): the upstream
+/// gradient convolved with the original kernel at the forward stride.
+pub fn conv_transpose2d_backward_input(
+    grad_out: &Tensor,
+    weight: &Tensor,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    // weight layout (C_in, C_out, kh, kw) reads directly as a conv kernel
+    // producing C_in channels from C_out channels.
+    conv2d(grad_out, weight, None, stride, pad)
+}
+
+/// Gradient of the fractional-strided convolution w.r.t. its weights.
+pub fn conv_transpose2d_backward_weight(
+    grad_out: &Tensor,
+    input: &Tensor,
+    weight_shape: Shape4,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    // Same cross-correlation as conv backward-weight with the roles of the
+    // activation and the gradient exchanged.
+    conv2d_backward_weight(input, grad_out, weight_shape, stride, pad)
+}
+
+/// Swaps the first two axes of a 4-D tensor: `(A, B, H, W)` → `(B, A, H, W)`.
+fn swap_channel_axes(t: &Tensor) -> Tensor {
+    let s = t.shape();
+    Tensor::from_fn(Shape4::new(s.c, s.n, s.h, s.w), |a, b, h, w| t.at(b, a, h, w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::conv_output_hw;
+    use super::*;
+
+    fn seq(shape: Shape4, scale: f32) -> Tensor {
+        let len = shape.len();
+        Tensor::from_vec(shape, (0..len).map(|i| i as f32 * scale).collect())
+    }
+
+    /// Direct scatter reference implementation of transposed convolution.
+    fn reference_scatter(
+        input: &Tensor,
+        weight: &Tensor,
+        bias: Option<&[f32]>,
+        stride: usize,
+        pad: usize,
+    ) -> Tensor {
+        let is = input.shape();
+        let ws = weight.shape();
+        let (oh, ow) = conv_transpose_output_hw(is.h, is.w, ws.h, ws.w, stride, pad);
+        let mut out = Tensor::zeros(Shape4::new(is.n, ws.c, oh, ow));
+        if let Some(b) = bias {
+            for n in 0..is.n {
+                for co in 0..ws.c {
+                    for y in 0..oh {
+                        for x in 0..ow {
+                            out.set(n, co, y, x, b[co]);
+                        }
+                    }
+                }
+            }
+        }
+        for n in 0..is.n {
+            for ci in 0..is.c {
+                for iy in 0..is.h {
+                    for ix in 0..is.w {
+                        let v = input.at(n, ci, iy, ix);
+                        for co in 0..ws.c {
+                            for ky in 0..ws.h {
+                                let oy = (iy * stride + ky) as isize - pad as isize;
+                                if oy < 0 || oy >= oh as isize {
+                                    continue;
+                                }
+                                for kx in 0..ws.w {
+                                    let ox = (ix * stride + kx) as isize - pad as isize;
+                                    if ox < 0 || ox >= ow as isize {
+                                        continue;
+                                    }
+                                    out.add_at(
+                                        n,
+                                        co,
+                                        oy as usize,
+                                        ox as usize,
+                                        v * weight.at(ci, co, ky, kx),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn output_hw_inverts_conv() {
+        // DCGAN-style: 4x4 -> 8x8 with k=4, s=2, p=1.
+        assert_eq!(conv_transpose_output_hw(4, 4, 4, 4, 2, 1), (8, 8));
+        // And conv with the same params maps back.
+        assert_eq!(conv_output_hw(8, 8, 4, 4, 2, 1), (4, 4));
+    }
+
+    #[test]
+    fn zero_insertion_matches_direct_scatter() {
+        let x = seq(Shape4::new(2, 3, 4, 4), 0.05);
+        let w = seq(Shape4::new(3, 2, 4, 4), 0.01);
+        let bias = [0.3, -0.1];
+        for &(s, p) in &[(1usize, 0usize), (2, 1), (2, 0), (3, 1)] {
+            let fast = conv_transpose2d(&x, &w, Some(&bias), s, p);
+            let reference = reference_scatter(&x, &w, Some(&bias), s, p);
+            assert_eq!(fast.shape(), reference.shape(), "shape for s={s} p={p}");
+            let d = fast.squared_distance(&reference);
+            assert!(d < 1e-4, "distance {d} for s={s} p={p}");
+        }
+    }
+
+    #[test]
+    fn stride_one_no_pad_is_full_correlation() {
+        let x = Tensor::ones(Shape4::new(1, 1, 2, 2));
+        let w = Tensor::ones(Shape4::new(1, 1, 3, 3));
+        let y = conv_transpose2d(&x, &w, None, 1, 0);
+        assert_eq!(y.shape(), Shape4::new(1, 1, 4, 4));
+        // Total mass = sum(x) * sum(w).
+        assert!((y.sum() - 4.0 * 9.0).abs() < 1e-5);
+        // Center positions see all four inputs.
+        assert_eq!(y.at(0, 0, 1, 1), 4.0);
+    }
+
+    #[test]
+    fn upsamples_spatially() {
+        // The generator's purpose: output larger than input (paper §II-A.3).
+        let x = Tensor::ones(Shape4::new(1, 8, 7, 7));
+        let w = Tensor::ones(Shape4::new(8, 4, 4, 4));
+        let y = conv_transpose2d(&x, &w, None, 2, 1);
+        assert_eq!(y.shape(), Shape4::new(1, 4, 14, 14));
+    }
+
+    #[test]
+    fn backward_input_matches_numeric() {
+        let x = seq(Shape4::new(1, 2, 3, 3), 0.1);
+        let w = seq(Shape4::new(2, 2, 4, 4), 0.02);
+        let (s, p) = (2, 1);
+        let g = Tensor::ones(conv_transpose2d(&x, &w, None, s, p).shape());
+        let gin = conv_transpose2d_backward_input(&g, &w, s, p);
+        assert_eq!(gin.shape(), x.shape());
+        let eps = 1e-2;
+        for &(c, h, wd) in &[(0usize, 0usize, 0usize), (1, 2, 1), (0, 1, 2)] {
+            let mut xp = x.clone();
+            xp.add_at(0, c, h, wd, eps);
+            let mut xm = x.clone();
+            xm.add_at(0, c, h, wd, -eps);
+            let num = (conv_transpose2d(&xp, &w, None, s, p).sum()
+                - conv_transpose2d(&xm, &w, None, s, p).sum())
+                / (2.0 * eps);
+            assert!(
+                (num - gin.at(0, c, h, wd)).abs() < 1e-2,
+                "numeric {num} vs analytic {}",
+                gin.at(0, c, h, wd)
+            );
+        }
+    }
+
+    #[test]
+    fn backward_weight_matches_numeric() {
+        let x = seq(Shape4::new(2, 2, 3, 3), 0.1);
+        let w = seq(Shape4::new(2, 3, 4, 4), 0.02);
+        let (s, p) = (2, 1);
+        let g = Tensor::ones(conv_transpose2d(&x, &w, None, s, p).shape());
+        let gw = conv_transpose2d_backward_weight(&g, &x, w.shape(), s, p);
+        assert_eq!(gw.shape(), w.shape());
+        let eps = 1e-2;
+        for &(ci, co, ky, kx) in &[(0usize, 0usize, 0usize, 0usize), (1, 2, 3, 3), (0, 1, 2, 1)] {
+            let mut wp = w.clone();
+            wp.add_at(ci, co, ky, kx, eps);
+            let mut wm = w.clone();
+            wm.add_at(ci, co, ky, kx, -eps);
+            let num = (conv_transpose2d(&x, &wp, None, s, p).sum()
+                - conv_transpose2d(&x, &wm, None, s, p).sum())
+                / (2.0 * eps);
+            assert!(
+                (num - gw.at(ci, co, ky, kx)).abs() < 5e-2,
+                "numeric {num} vs analytic {}",
+                gw.at(ci, co, ky, kx)
+            );
+        }
+    }
+}

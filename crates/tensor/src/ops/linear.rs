@@ -1,0 +1,149 @@
+//! Inner-product (fully connected) layer kernels — paper Eq. 2.
+//!
+//! `d_{l+1} = W d_l + b` with `W` of shape `(n × m)`. Batched: activations
+//! are matrices with one row per batch entry, so the forward pass is
+//! `X W^T + b` — each row of `X` is one of the paper's `\vec{d_l}` vectors.
+
+use crate::{Matrix, Shape2};
+
+/// Fully connected forward pass.
+///
+/// `input` is `(batch × in)`, `weight` is `(out × in)` (the paper's `W`),
+/// `bias` has `out` entries. Returns `(batch × out)`.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions or the bias length disagree.
+pub fn linear(input: &Matrix, weight: &Matrix, bias: Option<&[f32]>) -> Matrix {
+    assert_eq!(
+        input.cols(),
+        weight.cols(),
+        "linear: input width {} vs weight width {}",
+        input.cols(),
+        weight.cols()
+    );
+    if let Some(b) = bias {
+        assert_eq!(b.len(), weight.rows(), "linear: bias length vs out features");
+    }
+    let out_shape = Shape2::new(input.rows(), weight.rows());
+    Matrix::from_fn(out_shape, |n, o| {
+        let dot: f32 = input
+            .row(n)
+            .iter()
+            .zip(weight.row(o))
+            .map(|(&x, &w)| x * w)
+            .sum();
+        dot + bias.map_or(0.0, |b| b[o])
+    })
+}
+
+/// Gradient of the FC layer w.r.t. its input: `G W`.
+pub fn linear_backward_input(grad_out: &Matrix, weight: &Matrix) -> Matrix {
+    assert_eq!(
+        grad_out.cols(),
+        weight.rows(),
+        "linear_backward_input: grad width {} vs out features {}",
+        grad_out.cols(),
+        weight.rows()
+    );
+    grad_out.matmul(weight)
+}
+
+/// Gradient of the FC layer w.r.t. its weights: `G^T X`.
+///
+/// The `(out × in)` result accumulates over the batch, matching the paper's
+/// batched-update semantics (weight deltas are summed over the batch and
+/// applied once at batch end, §III-A.2).
+pub fn linear_backward_weight(grad_out: &Matrix, input: &Matrix) -> Matrix {
+    assert_eq!(
+        grad_out.rows(),
+        input.rows(),
+        "linear_backward_weight: batch {} vs {}",
+        grad_out.rows(),
+        input.rows()
+    );
+    grad_out.transposed().matmul(input)
+}
+
+/// Gradient of the FC layer w.r.t. its bias: column sums of `G`.
+pub fn linear_backward_bias(grad_out: &Matrix) -> Vec<f32> {
+    let mut gb = vec![0.0; grad_out.cols()];
+    for r in 0..grad_out.rows() {
+        for (c, g) in grad_out.row(r).iter().enumerate() {
+            gb[c] += g;
+        }
+    }
+    gb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Matrix {
+        Matrix::from_vec(Shape2::new(2, 3), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    }
+
+    fn w() -> Matrix {
+        Matrix::from_vec(Shape2::new(2, 3), vec![1.0, 0.0, -1.0, 0.5, 0.5, 0.5])
+    }
+
+    #[test]
+    fn forward_matches_manual() {
+        let y = linear(&x(), &w(), Some(&[10.0, 20.0]));
+        // row 0: [1-3+10, 0.5*6+20] = [8, 23]; row 1: [4-6+10, 0.5*15+20]=[8, 27.5]
+        assert_eq!(y.data(), &[8.0, 23.0, 8.0, 27.5]);
+    }
+
+    #[test]
+    fn forward_without_bias() {
+        let y = linear(&x(), &w(), None);
+        assert_eq!(y.data(), &[-2.0, 3.0, -2.0, 7.5]);
+    }
+
+    #[test]
+    fn backward_input_matches_numeric() {
+        let g = Matrix::from_vec(Shape2::new(2, 2), vec![1.0, 1.0, 1.0, 1.0]);
+        let gin = linear_backward_input(&g, &w());
+        let eps = 1e-2;
+        for &(r, c) in &[(0usize, 0usize), (1, 2), (0, 1)] {
+            let mut xp = x();
+            xp.set(r, c, xp.at(r, c) + eps);
+            let mut xm = x();
+            xm.set(r, c, xm.at(r, c) - eps);
+            let sum = |m: &Matrix| linear(m, &w(), None).data().iter().sum::<f32>();
+            let num = (sum(&xp) - sum(&xm)) / (2.0 * eps);
+            assert!((num - gin.at(r, c)).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn backward_weight_matches_numeric() {
+        let g = Matrix::from_vec(Shape2::new(2, 2), vec![1.0, 1.0, 1.0, 1.0]);
+        let gw = linear_backward_weight(&g, &x());
+        assert_eq!(gw.shape(), Shape2::new(2, 3));
+        let eps = 1e-2;
+        for &(r, c) in &[(0usize, 0usize), (1, 2)] {
+            let mut wp = w();
+            wp.set(r, c, wp.at(r, c) + eps);
+            let mut wm = w();
+            wm.set(r, c, wm.at(r, c) - eps);
+            let sum = |m: &Matrix| linear(&x(), m, None).data().iter().sum::<f32>();
+            let num = (sum(&wp) - sum(&wm)) / (2.0 * eps);
+            assert!((num - gw.at(r, c)).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn backward_bias_sums_rows() {
+        let g = Matrix::from_vec(Shape2::new(2, 2), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(linear_backward_bias(&g), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "linear: input width")]
+    fn forward_rejects_mismatch() {
+        let bad = Matrix::zeros(Shape2::new(2, 4));
+        let _ = linear(&bad, &w(), None);
+    }
+}

@@ -1,0 +1,26 @@
+//! Forward and backward kernels for the paper's layer types.
+//!
+//! Every operation here has an explicit backward companion because the
+//! paper's central claim is acceleration of *training*, not just inference
+//! (§II-A.2): the backward pass of a convolution is itself a convolution
+//! (with transposed/rotated kernels), which is what lets the same ReRAM
+//! crossbars serve both directions.
+
+mod conv;
+mod frac;
+mod linear;
+mod pad;
+mod pool;
+
+pub use conv::{
+    conv2d, conv2d_backward_bias, conv2d_backward_input, conv2d_backward_weight, conv_output_hw,
+    im2col,
+};
+pub use frac::{conv_transpose2d, conv_transpose2d_backward_input, conv_transpose2d_backward_weight, conv_transpose_output_hw};
+pub use linear::{
+    linear, linear_backward_bias, linear_backward_input, linear_backward_weight,
+};
+pub use pad::{crop, dilate, rotate180, zero_pad};
+pub use pool::{
+    avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, pool_output_hw, MaxPoolIndices,
+};

@@ -1,0 +1,156 @@
+//! Spatial padding, dilation (zero insertion) and kernel rotation helpers.
+//!
+//! `dilate` implements the zero insertion of the paper's Fig. 7(a): a
+//! fractional-strided convolution first spreads the input feature map apart
+//! by inserting `stride - 1` zeros between neighbouring elements, after which
+//! an ordinary unit-stride convolution produces the up-sampled output.
+
+use crate::{Shape4, Tensor};
+
+/// Pads the spatial dimensions with `pad` zeros on every side.
+pub fn zero_pad(input: &Tensor, pad: usize) -> Tensor {
+    if pad == 0 {
+        return input.clone();
+    }
+    let s = input.shape();
+    let out_shape = Shape4::new(s.n, s.c, s.h + 2 * pad, s.w + 2 * pad);
+    let mut out = Tensor::zeros(out_shape);
+    for n in 0..s.n {
+        for c in 0..s.c {
+            for h in 0..s.h {
+                for w in 0..s.w {
+                    out.set(n, c, h + pad, w + pad, input.at(n, c, h, w));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Removes `crop` elements from every side of the spatial dimensions.
+///
+/// # Panics
+///
+/// Panics if the crop would remove the whole extent.
+pub fn crop(input: &Tensor, crop: usize) -> Tensor {
+    if crop == 0 {
+        return input.clone();
+    }
+    let s = input.shape();
+    assert!(
+        s.h > 2 * crop && s.w > 2 * crop,
+        "crop {crop} exceeds spatial extent of {s}"
+    );
+    let out_shape = Shape4::new(s.n, s.c, s.h - 2 * crop, s.w - 2 * crop);
+    Tensor::from_fn(out_shape, |n, c, h, w| input.at(n, c, h + crop, w + crop))
+}
+
+/// Inserts `stride - 1` zeros between neighbouring spatial elements.
+///
+/// A `H × W` map becomes `(H-1)*stride+1 × (W-1)*stride+1`. With
+/// `stride == 1` this is the identity.
+///
+/// # Panics
+///
+/// Panics if `stride == 0`.
+pub fn dilate(input: &Tensor, stride: usize) -> Tensor {
+    assert!(stride > 0, "dilate stride must be positive");
+    if stride == 1 {
+        return input.clone();
+    }
+    let s = input.shape();
+    let oh = if s.h == 0 { 0 } else { (s.h - 1) * stride + 1 };
+    let ow = if s.w == 0 { 0 } else { (s.w - 1) * stride + 1 };
+    let mut out = Tensor::zeros(Shape4::new(s.n, s.c, oh, ow));
+    for n in 0..s.n {
+        for c in 0..s.c {
+            for h in 0..s.h {
+                for w in 0..s.w {
+                    out.set(n, c, h * stride, w * stride, input.at(n, c, h, w));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Rotates every kernel plane of a 4-D weight tensor by 180 degrees.
+///
+/// The backward-of-convolution kernel is the forward kernel rotated 180° with
+/// the input/output channel roles swapped; this helper performs the spatial
+/// rotation only.
+pub fn rotate180(weight: &Tensor) -> Tensor {
+    let s = weight.shape();
+    Tensor::from_fn(s, |n, c, h, w| weight.at(n, c, s.h - 1 - h, s.w - 1 - w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_pad_places_values_centrally() {
+        let t = Tensor::ones(Shape4::new(1, 1, 2, 2));
+        let p = zero_pad(&t, 1);
+        assert_eq!(p.shape(), Shape4::new(1, 1, 4, 4));
+        assert_eq!(p.sum(), 4.0);
+        assert_eq!(p.at(0, 0, 0, 0), 0.0);
+        assert_eq!(p.at(0, 0, 1, 1), 1.0);
+        assert_eq!(p.at(0, 0, 2, 2), 1.0);
+    }
+
+    #[test]
+    fn crop_inverts_pad() {
+        let t = Tensor::from_fn(Shape4::new(2, 3, 4, 5), |n, c, h, w| {
+            (n + 2 * c + 3 * h + 5 * w) as f32
+        });
+        assert_eq!(crop(&zero_pad(&t, 2), 2), t);
+    }
+
+    #[test]
+    fn pad_zero_is_identity() {
+        let t = Tensor::ones(Shape4::new(1, 2, 3, 3));
+        assert_eq!(zero_pad(&t, 0), t);
+        assert_eq!(crop(&t, 0), t);
+    }
+
+    #[test]
+    fn dilate_stride_two() {
+        let t = Tensor::from_vec(Shape4::new(1, 1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]);
+        let d = dilate(&t, 2);
+        assert_eq!(d.shape(), Shape4::new(1, 1, 3, 3));
+        assert_eq!(
+            d.data(),
+            &[1.0, 0.0, 2.0, 0.0, 0.0, 0.0, 3.0, 0.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn dilate_stride_one_is_identity() {
+        let t = Tensor::ones(Shape4::new(1, 1, 3, 3));
+        assert_eq!(dilate(&t, 1), t);
+    }
+
+    #[test]
+    fn dilate_preserves_sum() {
+        let t = Tensor::from_fn(Shape4::new(1, 2, 3, 4), |_, c, h, w| (c + h + w) as f32);
+        assert_eq!(dilate(&t, 3).sum(), t.sum());
+    }
+
+    #[test]
+    fn rotate180_involution() {
+        let t = Tensor::from_fn(Shape4::new(2, 2, 3, 3), |n, c, h, w| {
+            (n * 100 + c * 10 + h * 3 + w) as f32
+        });
+        assert_eq!(rotate180(&rotate180(&t)), t);
+    }
+
+    #[test]
+    fn rotate180_center_fixed() {
+        let t = Tensor::from_fn(Shape4::new(1, 1, 3, 3), |_, _, h, w| (h * 3 + w) as f32);
+        let r = rotate180(&t);
+        assert_eq!(r.at(0, 0, 1, 1), 4.0);
+        assert_eq!(r.at(0, 0, 0, 0), 8.0);
+        assert_eq!(r.at(0, 0, 2, 2), 0.0);
+    }
+}

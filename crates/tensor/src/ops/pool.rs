@@ -1,0 +1,226 @@
+//! Pooling layers — paper §II-A.1.
+//!
+//! "A max POOL passes the maximum element in a pooling window while an
+//! average POOL takes the mean of all the elements in a pooling window."
+//! PipeLayer realizes max pooling with a register that keeps the running
+//! maximum of a value sequence (§III-A.3(c)); functionally that is exactly
+//! the windowed maximum computed here.
+
+use crate::{Shape4, Tensor};
+
+/// Output spatial size of a pooling window sweep.
+///
+/// # Panics
+///
+/// Panics if `stride == 0` or the window does not fit.
+pub fn pool_output_hw(h: usize, w: usize, k: usize, stride: usize) -> (usize, usize) {
+    assert!(stride > 0, "pool stride must be positive");
+    assert!(h >= k && w >= k, "pool window {k} larger than input {h}x{w}");
+    ((h - k) / stride + 1, (w - k) / stride + 1)
+}
+
+/// Argmax bookkeeping produced by [`max_pool2d`], consumed by
+/// [`max_pool2d_backward`] to route gradients to the winning positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaxPoolIndices {
+    input_shape: Shape4,
+    /// For each output element (in NCHW order) the linear input index that won.
+    winners: Vec<usize>,
+}
+
+impl MaxPoolIndices {
+    /// Shape of the pooled layer's input.
+    pub fn input_shape(&self) -> Shape4 {
+        self.input_shape
+    }
+
+    /// Winning linear input index for each output element.
+    pub fn winners(&self) -> &[usize] {
+        &self.winners
+    }
+}
+
+/// Max pooling forward pass with `k × k` windows.
+///
+/// Returns the pooled tensor and the winner indices needed by the backward
+/// pass.
+pub fn max_pool2d(input: &Tensor, k: usize, stride: usize) -> (Tensor, MaxPoolIndices) {
+    let s = input.shape();
+    let (oh, ow) = pool_output_hw(s.h, s.w, k, stride);
+    let mut out = Tensor::zeros(Shape4::new(s.n, s.c, oh, ow));
+    let mut winners = Vec::with_capacity(out.len());
+    for n in 0..s.n {
+        for c in 0..s.c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let (iy, ix) = (oy * stride + ky, ox * stride + kx);
+                            let v = input.at(n, c, iy, ix);
+                            if v > best {
+                                best = v;
+                                best_idx = s.index(n, c, iy, ix);
+                            }
+                        }
+                    }
+                    out.set(n, c, oy, ox, best);
+                    winners.push(best_idx);
+                }
+            }
+        }
+    }
+    (
+        out,
+        MaxPoolIndices {
+            input_shape: s,
+            winners,
+        },
+    )
+}
+
+/// Max pooling backward pass: each output gradient flows to its argmax input.
+///
+/// # Panics
+///
+/// Panics if `grad_out` does not have one element per recorded winner.
+pub fn max_pool2d_backward(grad_out: &Tensor, indices: &MaxPoolIndices) -> Tensor {
+    assert_eq!(
+        grad_out.len(),
+        indices.winners.len(),
+        "max_pool2d_backward: gradient has {} elements, expected {}",
+        grad_out.len(),
+        indices.winners.len()
+    );
+    let mut gin = Tensor::zeros(indices.input_shape);
+    for (g, &idx) in grad_out.data().iter().zip(&indices.winners) {
+        gin.data_mut()[idx] += g;
+    }
+    gin
+}
+
+/// Average pooling forward pass with `k × k` windows.
+pub fn avg_pool2d(input: &Tensor, k: usize, stride: usize) -> Tensor {
+    let s = input.shape();
+    let (oh, ow) = pool_output_hw(s.h, s.w, k, stride);
+    let inv = 1.0 / (k * k) as f32;
+    Tensor::from_fn(Shape4::new(s.n, s.c, oh, ow), |n, c, oy, ox| {
+        let mut acc = 0.0;
+        for ky in 0..k {
+            for kx in 0..k {
+                acc += input.at(n, c, oy * stride + ky, ox * stride + kx);
+            }
+        }
+        acc * inv
+    })
+}
+
+/// Average pooling backward pass: gradients spread uniformly over windows.
+pub fn avg_pool2d_backward(
+    grad_out: &Tensor,
+    input_shape: Shape4,
+    k: usize,
+    stride: usize,
+) -> Tensor {
+    let gs = grad_out.shape();
+    let inv = 1.0 / (k * k) as f32;
+    let mut gin = Tensor::zeros(input_shape);
+    for n in 0..gs.n {
+        for c in 0..gs.c {
+            for oy in 0..gs.h {
+                for ox in 0..gs.w {
+                    let g = grad_out.at(n, c, oy, ox) * inv;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            gin.add_at(n, c, oy * stride + ky, ox * stride + kx, g);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    gin
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input4() -> Tensor {
+        Tensor::from_fn(Shape4::new(1, 1, 4, 4), |_, _, h, w| (h * 4 + w) as f32)
+    }
+
+    #[test]
+    fn output_hw() {
+        assert_eq!(pool_output_hw(4, 4, 2, 2), (2, 2));
+        assert_eq!(pool_output_hw(5, 5, 3, 1), (3, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than input")]
+    fn output_hw_rejects_big_window() {
+        let _ = pool_output_hw(2, 2, 3, 1);
+    }
+
+    #[test]
+    fn max_pool_picks_window_max() {
+        let (y, _) = max_pool2d(&input4(), 2, 2);
+        assert_eq!(y.data(), &[5.0, 7.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let (y, idx) = max_pool2d(&input4(), 2, 2);
+        let g = Tensor::ones(y.shape());
+        let gin = max_pool2d_backward(&g, &idx);
+        // Only the four winning positions receive gradient.
+        assert_eq!(gin.sum(), 4.0);
+        assert_eq!(gin.at(0, 0, 1, 1), 1.0);
+        assert_eq!(gin.at(0, 0, 3, 3), 1.0);
+        assert_eq!(gin.at(0, 0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn max_pool_overlapping_windows_accumulate() {
+        // stride 1 with k=2: winner (1,1) value 5 wins all four windows.
+        let t = Tensor::from_vec(
+            Shape4::new(1, 1, 3, 3),
+            vec![0.0, 0.0, 0.0, 0.0, 5.0, 0.0, 0.0, 0.0, 0.0],
+        );
+        let (y, idx) = max_pool2d(&t, 2, 1);
+        assert!(y.data().iter().all(|&v| v == 5.0));
+        let gin = max_pool2d_backward(&Tensor::ones(y.shape()), &idx);
+        assert_eq!(gin.at(0, 0, 1, 1), 4.0);
+    }
+
+    #[test]
+    fn avg_pool_means_window() {
+        let y = avg_pool2d(&input4(), 2, 2);
+        assert_eq!(y.data(), &[2.5, 4.5, 10.5, 12.5]);
+    }
+
+    #[test]
+    fn avg_pool_backward_uniform() {
+        let y = avg_pool2d(&input4(), 2, 2);
+        let gin = avg_pool2d_backward(&Tensor::ones(y.shape()), Shape4::new(1, 1, 4, 4), 2, 2);
+        assert!(gin.data().iter().all(|&v| (v - 0.25).abs() < 1e-6));
+    }
+
+    #[test]
+    fn avg_pool_gradient_conserved() {
+        // Non-overlapping average pooling conserves total gradient mass.
+        let g = Tensor::from_fn(Shape4::new(2, 3, 2, 2), |n, c, h, w| {
+            (n + c + h + w) as f32
+        });
+        let gin = avg_pool2d_backward(&g, Shape4::new(2, 3, 4, 4), 2, 2);
+        assert!((gin.sum() - g.sum()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn max_pool_handles_negative_values() {
+        let t = Tensor::filled(Shape4::new(1, 1, 2, 2), -3.0);
+        let (y, _) = max_pool2d(&t, 2, 2);
+        assert_eq!(y.data(), &[-3.0]);
+    }
+}

@@ -1,0 +1,167 @@
+use std::fmt;
+
+/// Shape of a 4-D tensor in NCHW order (batch, channels, height, width).
+///
+/// The paper's data cubes `d_l` of size `(X_l × Y_l × C_l)` (§II-A.1) map to
+/// one batch entry of an NCHW tensor with `c = C_l`, `h = Y_l`, `w = X_l`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape4 {
+    /// Batch size.
+    pub n: usize,
+    /// Channel count.
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+}
+
+impl Shape4 {
+    /// Creates a shape from its four extents.
+    pub const fn new(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Self { n, c, h, w }
+    }
+
+    /// Total number of elements.
+    pub const fn len(&self) -> usize {
+        self.n * self.c * self.h * self.w
+    }
+
+    /// Whether the shape contains zero elements.
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of elements in one batch entry (`c * h * w`).
+    pub const fn batch_stride(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// Linear index of `(n, c, h, w)` in row-major NCHW layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any coordinate is out of range.
+    #[inline]
+    pub fn index(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        debug_assert!(
+            n < self.n && c < self.c && h < self.h && w < self.w,
+            "index ({n},{c},{h},{w}) out of range for {self}"
+        );
+        ((n * self.c + c) * self.h + h) * self.w + w
+    }
+
+    /// Returns the same shape with a different batch size.
+    pub const fn with_batch(&self, n: usize) -> Self {
+        Self { n, ..*self }
+    }
+}
+
+impl fmt::Display for Shape4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}, {}, {}]", self.n, self.c, self.h, self.w)
+    }
+}
+
+/// Shape of a 2-D matrix (rows × columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape2 {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+}
+
+impl Shape2 {
+    /// Creates a matrix shape.
+    pub const fn new(rows: usize, cols: usize) -> Self {
+        Self { rows, cols }
+    }
+
+    /// Total number of elements.
+    pub const fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Whether the shape contains zero elements.
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Linear row-major index of `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if a coordinate is out of range.
+    #[inline]
+    pub fn index(&self, r: usize, c: usize) -> usize {
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range for {self}"
+        );
+        r * self.cols + c
+    }
+
+    /// The transposed shape.
+    pub const fn transposed(&self) -> Self {
+        Self {
+            rows: self.cols,
+            cols: self.rows,
+        }
+    }
+}
+
+impl fmt::Display for Shape2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} x {}]", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape4_len_and_strides() {
+        let s = Shape4::new(2, 3, 4, 5);
+        assert_eq!(s.len(), 120);
+        assert_eq!(s.batch_stride(), 60);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn shape4_index_is_row_major() {
+        let s = Shape4::new(2, 3, 4, 5);
+        assert_eq!(s.index(0, 0, 0, 0), 0);
+        assert_eq!(s.index(0, 0, 0, 1), 1);
+        assert_eq!(s.index(0, 0, 1, 0), 5);
+        assert_eq!(s.index(0, 1, 0, 0), 20);
+        assert_eq!(s.index(1, 0, 0, 0), 60);
+        assert_eq!(s.index(1, 2, 3, 4), 119);
+    }
+
+    #[test]
+    fn shape4_with_batch() {
+        let s = Shape4::new(2, 3, 4, 5).with_batch(7);
+        assert_eq!(s, Shape4::new(7, 3, 4, 5));
+    }
+
+    #[test]
+    fn shape4_empty() {
+        assert!(Shape4::new(0, 3, 4, 5).is_empty());
+    }
+
+    #[test]
+    fn shape2_index_and_transpose() {
+        let s = Shape2::new(3, 4);
+        assert_eq!(s.index(1, 2), 6);
+        assert_eq!(s.transposed(), Shape2::new(4, 3));
+        assert_eq!(s.len(), 12);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Shape4::new(1, 2, 3, 4).to_string(), "[1, 2, 3, 4]");
+        assert_eq!(Shape2::new(3, 4).to_string(), "[3 x 4]");
+    }
+}

@@ -1,0 +1,434 @@
+use crate::{Matrix, Shape2, Shape4};
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// Dense 4-D tensor in NCHW layout backed by a `Vec<f32>`.
+///
+/// All layer activations, kernels and gradients in the workspace are carried
+/// as `Tensor`s. Kernels use the layout `(C_out, C_in, K_h, K_w)`, matching
+/// the paper's four-dimensional kernel `K[k_x, k_y, c_l, c_{l+1}]` (Eq. 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape4,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero-filled tensor of the given shape.
+    pub fn zeros(shape: Shape4) -> Self {
+        Self {
+            shape,
+            data: vec![0.0; shape.len()],
+        }
+    }
+
+    /// Creates a one-filled tensor of the given shape.
+    pub fn ones(shape: Shape4) -> Self {
+        Self::filled(shape, 1.0)
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn filled(shape: Shape4, value: f32) -> Self {
+        Self {
+            shape,
+            data: vec![value; shape.len()],
+        }
+    }
+
+    /// Creates a tensor from raw data in NCHW row-major order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != shape.len()`.
+    pub fn from_vec(shape: Shape4, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "data length {} does not match shape {shape}",
+            data.len()
+        );
+        Self { shape, data }
+    }
+
+    /// Creates a tensor by evaluating `f(n, c, h, w)` at every coordinate.
+    pub fn from_fn(shape: Shape4, mut f: impl FnMut(usize, usize, usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(shape.len());
+        for n in 0..shape.n {
+            for c in 0..shape.c {
+                for h in 0..shape.h {
+                    for w in 0..shape.w {
+                        data.push(f(n, c, h, w));
+                    }
+                }
+            }
+        }
+        Self { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> Shape4 {
+        self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing data in NCHW row-major order.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the backing vector.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at `(n, c, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of range.
+    #[inline]
+    pub fn at(&self, n: usize, c: usize, h: usize, w: usize) -> f32 {
+        self.data[self.shape.index(n, c, h, w)]
+    }
+
+    /// Sets the element at `(n, c, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is out of range.
+    #[inline]
+    pub fn set(&mut self, n: usize, c: usize, h: usize, w: usize, v: f32) {
+        let i = self.shape.index(n, c, h, w);
+        self.data[i] = v;
+    }
+
+    /// Adds `v` to the element at `(n, c, h, w)`.
+    #[inline]
+    pub fn add_at(&mut self, n: usize, c: usize, h: usize, w: usize, v: f32) {
+        let i = self.shape.index(n, c, h, w);
+        self.data[i] += v;
+    }
+
+    /// Returns a new tensor with `f` applied elementwise.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self {
+            shape: self.shape,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Applies `f` elementwise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Elementwise combination of two same-shaped tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn zip_map(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Self {
+        assert_eq!(
+            self.shape, other.shape,
+            "zip_map requires equal shapes ({} vs {})",
+            self.shape, other.shape
+        );
+        Self {
+            shape: self.shape,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// `self += alpha * other`, the Saxpy update used by weight updates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Self) {
+        assert_eq!(
+            self.shape, other.shape,
+            "axpy requires equal shapes ({} vs {})",
+            self.shape, other.shape
+        );
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiplies every element by `s` in place.
+    pub fn scale_inplace(&mut self, s: f32) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Arithmetic mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Largest absolute element value (0 for an empty tensor).
+    pub fn abs_max(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Reinterprets the tensor as a matrix of shape `(n, c*h*w)`.
+    ///
+    /// This is the flattening performed when a CONV/POOL layer feeds an inner
+    /// product layer (paper §II-A.1): each batch entry's data cube becomes a
+    /// row vector.
+    pub fn to_matrix(&self) -> Matrix {
+        Matrix::from_vec(
+            Shape2::new(self.shape.n, self.shape.batch_stride()),
+            self.data.clone(),
+        )
+    }
+
+    /// Reinterprets the data with a new shape of identical element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_shape.len() != self.len()`.
+    pub fn reshape(&self, new_shape: Shape4) -> Self {
+        assert_eq!(
+            new_shape.len(),
+            self.len(),
+            "reshape {} -> {new_shape} changes element count",
+            self.shape
+        );
+        Self {
+            shape: new_shape,
+            data: self.data.clone(),
+        }
+    }
+
+    /// Extracts batch entry `n` as a tensor of batch size 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= self.shape().n`.
+    pub fn batch_entry(&self, n: usize) -> Self {
+        assert!(n < self.shape.n, "batch entry {n} out of range {}", self.shape);
+        let stride = self.shape.batch_stride();
+        Self {
+            shape: self.shape.with_batch(1),
+            data: self.data[n * stride..(n + 1) * stride].to_vec(),
+        }
+    }
+
+    /// Concatenates tensors along the batch dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or the per-entry shapes differ.
+    pub fn stack_batches(parts: &[Tensor]) -> Self {
+        assert!(!parts.is_empty(), "stack_batches of zero tensors");
+        let per = parts[0].shape;
+        let mut data = Vec::new();
+        let mut n = 0;
+        for p in parts {
+            assert_eq!(
+                p.shape.with_batch(1),
+                per.with_batch(1),
+                "stack_batches requires equal entry shapes"
+            );
+            n += p.shape.n;
+            data.extend_from_slice(&p.data);
+        }
+        Self {
+            shape: per.with_batch(n),
+            data,
+        }
+    }
+
+    /// Squared L2 distance to another tensor of the same shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn squared_distance(&self, other: &Self) -> f32 {
+        assert_eq!(self.shape, other.shape, "squared_distance shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum()
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} mean={:.4}", self.shape, self.mean())
+    }
+}
+
+impl Add<&Tensor> for &Tensor {
+    type Output = Tensor;
+
+    fn add(self, rhs: &Tensor) -> Tensor {
+        self.zip_map(rhs, |a, b| a + b)
+    }
+}
+
+impl Sub<&Tensor> for &Tensor {
+    type Output = Tensor;
+
+    fn sub(self, rhs: &Tensor) -> Tensor {
+        self.zip_map(rhs, |a, b| a - b)
+    }
+}
+
+impl Mul<f32> for &Tensor {
+    type Output = Tensor;
+
+    fn mul(self, rhs: f32) -> Tensor {
+        self.map(|x| x * rhs)
+    }
+}
+
+impl AddAssign<&Tensor> for Tensor {
+    fn add_assign(&mut self, rhs: &Tensor) {
+        self.axpy(1.0, rhs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(shape: Shape4) -> Tensor {
+        let len = shape.len();
+        Tensor::from_vec(shape, (0..len).map(|i| i as f32).collect())
+    }
+
+    #[test]
+    fn zeros_ones_filled() {
+        let s = Shape4::new(1, 2, 2, 2);
+        assert!(Tensor::zeros(s).data().iter().all(|&x| x == 0.0));
+        assert!(Tensor::ones(s).data().iter().all(|&x| x == 1.0));
+        assert!(Tensor::filled(s, 3.5).data().iter().all(|&x| x == 3.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_rejects_wrong_len() {
+        let _ = Tensor::from_vec(Shape4::new(1, 1, 2, 2), vec![1.0]);
+    }
+
+    #[test]
+    fn from_fn_visits_row_major() {
+        let t = Tensor::from_fn(Shape4::new(1, 1, 2, 3), |_, _, h, w| (h * 3 + w) as f32);
+        assert_eq!(t.data(), &[0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn at_and_set() {
+        let mut t = Tensor::zeros(Shape4::new(2, 2, 2, 2));
+        t.set(1, 1, 1, 1, 9.0);
+        assert_eq!(t.at(1, 1, 1, 1), 9.0);
+        t.add_at(1, 1, 1, 1, 1.0);
+        assert_eq!(t.at(1, 1, 1, 1), 10.0);
+    }
+
+    #[test]
+    fn map_and_zip_map() {
+        let t = seq(Shape4::new(1, 1, 1, 4));
+        let doubled = t.map(|x| 2.0 * x);
+        assert_eq!(doubled.data(), &[0.0, 2.0, 4.0, 6.0]);
+        let summed = t.zip_map(&doubled, |a, b| a + b);
+        assert_eq!(summed.data(), &[0.0, 3.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::ones(Shape4::new(1, 1, 1, 3));
+        let b = seq(Shape4::new(1, 1, 1, 3));
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[1.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(Shape4::new(1, 1, 1, 4), vec![-4.0, 1.0, 2.0, 3.0]);
+        assert_eq!(t.sum(), 2.0);
+        assert_eq!(t.mean(), 0.5);
+        assert_eq!(t.abs_max(), 4.0);
+    }
+
+    #[test]
+    fn to_matrix_flattens_per_batch() {
+        let t = seq(Shape4::new(2, 1, 1, 3));
+        let m = t.to_matrix();
+        assert_eq!(m.shape(), Shape2::new(2, 3));
+        assert_eq!(m.data(), t.data());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = seq(Shape4::new(1, 2, 2, 2));
+        let r = t.reshape(Shape4::new(1, 8, 1, 1));
+        assert_eq!(r.data(), t.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "changes element count")]
+    fn reshape_rejects_bad_count() {
+        let _ = seq(Shape4::new(1, 1, 2, 2)).reshape(Shape4::new(1, 1, 1, 3));
+    }
+
+    #[test]
+    fn batch_entry_and_stack_round_trip() {
+        let t = seq(Shape4::new(3, 1, 2, 2));
+        let parts: Vec<_> = (0..3).map(|i| t.batch_entry(i)).collect();
+        let rebuilt = Tensor::stack_batches(&parts);
+        assert_eq!(rebuilt, t);
+    }
+
+    #[test]
+    fn operators() {
+        let a = Tensor::ones(Shape4::new(1, 1, 1, 2));
+        let b = Tensor::filled(Shape4::new(1, 1, 1, 2), 3.0);
+        assert_eq!((&a + &b).data(), &[4.0, 4.0]);
+        assert_eq!((&b - &a).data(), &[2.0, 2.0]);
+        assert_eq!((&b * 2.0).data(), &[6.0, 6.0]);
+        let mut c = a.clone();
+        c += &b;
+        assert_eq!(c.data(), &[4.0, 4.0]);
+    }
+
+    #[test]
+    fn squared_distance_is_zero_on_self() {
+        let t = seq(Shape4::new(1, 2, 2, 2));
+        assert_eq!(t.squared_distance(&t), 0.0);
+    }
+}

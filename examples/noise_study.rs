@@ -1,0 +1,99 @@
+//! Device non-ideality study: how much programming variation, read noise
+//! and stuck-at cell faults the in-memory compute path tolerates.
+//!
+//! ReRAM's analog nature is the cost of the paper's "computation and
+//! storage simultaneously"; this study sweeps the device models of
+//! `reram-crossbar` and reports (a) raw MVM error and (b) end-to-end
+//! classification accuracy of a crossbar-backed CNN trained *on* the noisy
+//! hardware — training partially compensates device error, which is why
+//! the accuracy column degrades much more slowly than the MVM column.
+//!
+//! ```text
+//! cargo run --example noise_study --release
+//! ```
+
+use reram_crossbar::{CrossbarConfig, TiledMatrix};
+use reram_datasets::Dataset;
+use reram_nn::backend::LinearEngine;
+use reram_nn::layers::{ActivationLayer, Conv2d, Flatten, Linear, Pool2d};
+use reram_nn::losses::accuracy;
+use reram_nn::Network;
+use reram_tensor::{init, Matrix, Shape2, Shape4};
+
+/// Mean relative MVM error for a crossbar configuration.
+fn mvm_error(cfg: &CrossbarConfig) -> f64 {
+    let w = Matrix::from_fn(Shape2::new(96, 96), |r, c| {
+        (((r * 7 + c * 5) % 31) as f32 - 15.0) / 15.0
+    });
+    let x: Vec<f32> = (0..96).map(|i| ((i % 17) as f32 - 8.0) / 8.0).collect();
+    let exact = w.matvec(&x);
+    let mut t = TiledMatrix::program(&w, cfg);
+    let got = t.matvec(&x);
+    let err: f64 = got
+        .iter()
+        .zip(&exact)
+        .map(|(a, b)| (a - b).abs() as f64)
+        .sum::<f64>()
+        / exact.len() as f64;
+    let scale: f64 = exact.iter().map(|v| v.abs() as f64).sum::<f64>() / exact.len() as f64;
+    err / scale
+}
+
+/// Trains a crossbar-backed classifier on the configuration and returns
+/// held-out accuracy over 4 classes.
+fn train_accuracy(cfg: &CrossbarConfig) -> f32 {
+    let ds = Dataset::mnist_like().with_resolution(12);
+    let mut rng = init::seeded_rng(5);
+    let mut net = {
+        let mut r = init::seeded_rng(3);
+        Network::new("study", Shape4::new(1, 1, 12, 12))
+            .push(
+                Conv2d::new(1, 6, 3, 1, 1, &mut r)
+                    .with_engine(LinearEngine::crossbar(cfg.clone())),
+            )
+            .push(ActivationLayer::relu())
+            .push(Pool2d::max(2))
+            .push(Flatten::new())
+            .push(Linear::new(6 * 6 * 6, 4, &mut r).with_engine(LinearEngine::crossbar(cfg.clone())))
+    };
+    for step in 0..40 {
+        let labels: Vec<usize> = (0..8).map(|i| (step * 8 + i) % 4).collect();
+        let x = ds.batch_for_labels(&labels, &mut rng);
+        let _ = net.train_batch(&x, &labels, 0.05);
+    }
+    let labels: Vec<usize> = (0..16).map(|i| i % 4).collect();
+    let x = ds.batch_for_labels(&labels, &mut rng);
+    accuracy(&net.forward(&x, false), &labels)
+}
+
+fn main() {
+    println!("{:<28} {:>14} {:>12}", "configuration", "MVM rel err", "accuracy");
+    println!("{}", "-".repeat(58));
+
+    let ideal = CrossbarConfig::default();
+    println!(
+        "{:<28} {:>13.3}% {:>12.2}",
+        "ideal",
+        100.0 * mvm_error(&ideal),
+        train_accuracy(&ideal)
+    );
+    for sigma in [0.01, 0.02, 0.05, 0.1] {
+        let cfg = CrossbarConfig::default().with_noise(sigma, sigma, 99);
+        println!(
+            "{:<28} {:>13.3}% {:>12.2}",
+            format!("variation+read sigma {sigma}"),
+            100.0 * mvm_error(&cfg),
+            train_accuracy(&cfg)
+        );
+    }
+    for rate in [0.005, 0.01, 0.05] {
+        let cfg = CrossbarConfig::default().with_faults(rate, rate, 101);
+        println!(
+            "{:<28} {:>13.3}% {:>12.2}",
+            format!("stuck cells {:.1}%+{:.1}%", rate * 100.0, rate * 100.0),
+            100.0 * mvm_error(&cfg),
+            train_accuracy(&cfg)
+        );
+    }
+    println!("\n(chance accuracy = 0.25; training on the faulty hardware partially compensates device error)");
+}

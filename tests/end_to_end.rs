@@ -1,0 +1,170 @@
+//! Workspace-spanning functional tests: datasets → networks → training,
+//! with and without the crossbar execution backend.
+
+use reram_suite::crossbar::CrossbarConfig;
+use reram_suite::datasets::Dataset;
+use reram_suite::nn::backend::LinearEngine;
+use reram_suite::nn::layers::{ActivationLayer, Conv2d, Flatten, Linear, Pool2d};
+use reram_suite::nn::losses::accuracy;
+use reram_suite::nn::{models, Network};
+use reram_suite::tensor::{init, Shape4};
+
+/// Builds a small CNN, optionally with crossbar-backed weighted layers.
+fn build_cnn(crossbar: bool, seed: u64) -> Network {
+    let mut rng = init::seeded_rng(seed);
+    let engine = || {
+        if crossbar {
+            LinearEngine::crossbar(CrossbarConfig::default())
+        } else {
+            LinearEngine::float()
+        }
+    };
+    Network::new("cnn", Shape4::new(1, 1, 12, 12))
+        .push(Conv2d::new(1, 6, 3, 1, 1, &mut rng).with_engine(engine()))
+        .push(ActivationLayer::relu())
+        .push(Pool2d::max(2))
+        .push(Flatten::new())
+        .push(Linear::new(6 * 6 * 6, 4, &mut rng).with_engine(engine()))
+}
+
+fn train_and_eval(crossbar: bool) -> f32 {
+    let ds = Dataset::mnist_like().with_resolution(12);
+    let mut net = build_cnn(crossbar, 3);
+    let mut rng = init::seeded_rng(4);
+    for step in 0..40 {
+        let labels: Vec<usize> = (0..8).map(|i| (step * 8 + i) % 4).collect();
+        let x = ds.batch_for_labels(&labels, &mut rng);
+        let _ = net.train_batch(&x, &labels, 0.05);
+    }
+    // Held-out evaluation batch.
+    let labels: Vec<usize> = (0..16).map(|i| i % 4).collect();
+    let x = ds.batch_for_labels(&labels, &mut rng);
+    let logits = net.forward(&x, false);
+    accuracy(&logits, &labels)
+}
+
+#[test]
+fn float_training_learns_synthetic_mnist() {
+    let acc = train_and_eval(false);
+    assert!(acc >= 0.75, "float accuracy {acc} below 0.75 (chance 0.25)");
+}
+
+#[test]
+fn crossbar_backed_training_learns_synthetic_mnist() {
+    // The paper's whole point: the same training loop works with every
+    // forward product computed by quantized, spike-coded ReRAM crossbars.
+    let acc = train_and_eval(true);
+    assert!(acc >= 0.75, "crossbar accuracy {acc} below 0.75 (chance 0.25)");
+}
+
+#[test]
+fn full_crossbar_training_with_backward_on_crossbars() {
+    // PipeLayer's complete training datapath for the FC layer: forward AND
+    // error back-propagation both through crossbar grids (the backward one
+    // holding the transposed weights).
+    let ds = Dataset::mnist_like().with_resolution(12);
+    let mut rng = init::seeded_rng(31);
+    let mut net = {
+        let mut r = init::seeded_rng(3);
+        Network::new("full-crossbar", Shape4::new(1, 1, 12, 12))
+            .push(
+                Conv2d::new(1, 6, 3, 1, 1, &mut r)
+                    .with_engine(LinearEngine::crossbar(CrossbarConfig::default())),
+            )
+            .push(ActivationLayer::relu())
+            .push(Pool2d::max(2))
+            .push(Flatten::new())
+            .push(
+                Linear::new(6 * 6 * 6, 4, &mut r)
+                    .with_engine(LinearEngine::crossbar_full(CrossbarConfig::default())),
+            )
+    };
+    for step in 0..40 {
+        let labels: Vec<usize> = (0..8).map(|i| (step * 8 + i) % 4).collect();
+        let x = ds.batch_for_labels(&labels, &mut rng);
+        let _ = net.train_batch(&x, &labels, 0.05);
+    }
+    let labels: Vec<usize> = (0..16).map(|i| i % 4).collect();
+    let x = ds.batch_for_labels(&labels, &mut rng);
+    let acc = accuracy(&net.forward(&x, false), &labels);
+    assert!(acc >= 0.75, "full-crossbar accuracy {acc} (chance 0.25)");
+}
+
+#[test]
+fn crossbar_and_float_agree_before_training() {
+    let ds = Dataset::mnist_like().with_resolution(12);
+    let mut rng = init::seeded_rng(9);
+    let (x, _) = ds.batch(4, &mut rng);
+    let mut float = build_cnn(false, 42);
+    let mut xbar = build_cnn(true, 42);
+    let yf = float.forward(&x, false);
+    let yc = xbar.forward(&x, false);
+    let rms = (yf.squared_distance(&yc) / yf.len() as f32).sqrt();
+    assert!(rms < 0.02, "crossbar deviates from float: rms {rms}");
+}
+
+#[test]
+fn lenet_trains_on_full_mnist_shape() {
+    let ds = Dataset::mnist_like();
+    let mut rng = init::seeded_rng(5);
+    let mut net = models::lenet(&mut rng);
+    let labels: Vec<usize> = (0..4).map(|i| i % 2).collect();
+    let x = ds.batch_for_labels(&labels, &mut rng);
+    let (first, _) = net.train_batch(&x, &labels, 0.05);
+    let mut last = first;
+    for _ in 0..10 {
+        let (l, _) = net.train_batch(&x, &labels, 0.05);
+        last = l;
+    }
+    assert!(last < first, "LeNet loss did not decrease: {first} -> {last}");
+}
+
+#[test]
+fn gan_trains_on_synthetic_images() {
+    let ds = Dataset::mnist_like().with_resolution(16);
+    let mut rng = init::seeded_rng(6);
+    let mut gan = models::dcgan(16, 4, 1, 16, &mut rng);
+    let mut last = None;
+    for _ in 0..10 {
+        let real = ds.unlabeled_batch(8, &mut rng);
+        last = Some(gan.train_step(&real, 0.02, &mut rng));
+    }
+    let stats = last.expect("trained");
+    assert!(stats.d_loss_real.is_finite());
+    assert!(stats.g_loss.is_finite());
+    // Generated images stay in tanh range.
+    let z = gan.sample_latent(4, &mut rng);
+    let fake = gan.generate(&z);
+    assert!(fake.data().iter().all(|v| (-1.0..=1.0).contains(v)));
+    assert_eq!(fake.shape(), Shape4::new(4, 1, 16, 16));
+}
+
+#[test]
+fn noisy_crossbar_still_classifies() {
+    // Device variation + read noise at realistic levels must not destroy
+    // the classifier (graceful degradation, not collapse).
+    let ds = Dataset::mnist_like().with_resolution(12);
+    let mut rng = init::seeded_rng(8);
+    let noisy = CrossbarConfig::default().with_noise(0.02, 0.02, 77);
+    let mut net = {
+        let mut r = init::seeded_rng(3);
+        Network::new("noisy", Shape4::new(1, 1, 12, 12))
+            .push(
+                Conv2d::new(1, 6, 3, 1, 1, &mut r)
+                    .with_engine(LinearEngine::crossbar(noisy.clone())),
+            )
+            .push(ActivationLayer::relu())
+            .push(Pool2d::max(2))
+            .push(Flatten::new())
+            .push(Linear::new(6 * 6 * 6, 4, &mut r).with_engine(LinearEngine::crossbar(noisy)))
+    };
+    for step in 0..40 {
+        let labels: Vec<usize> = (0..8).map(|i| (step * 8 + i) % 4).collect();
+        let x = ds.batch_for_labels(&labels, &mut rng);
+        let _ = net.train_batch(&x, &labels, 0.05);
+    }
+    let labels: Vec<usize> = (0..16).map(|i| i % 4).collect();
+    let x = ds.batch_for_labels(&labels, &mut rng);
+    let acc = accuracy(&net.forward(&x, false), &labels);
+    assert!(acc >= 0.5, "noisy crossbar accuracy {acc} (chance 0.25)");
+}

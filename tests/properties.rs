@@ -1,0 +1,177 @@
+//! Property-based tests (proptest) on the core invariants of the stack.
+
+use proptest::prelude::*;
+use reram_suite::core::{PipelineModel, ReganOpt, ReganPipeline};
+use reram_suite::crossbar::quant::{
+    differential_split, slice_magnitude, unslice, Quantizer,
+};
+use reram_suite::crossbar::{CrossbarConfig, TiledMatrix};
+use reram_suite::tensor::{ops, Matrix, Shape2, Shape4, Tensor};
+
+proptest! {
+    /// Quantize → dequantize error is bounded by half an LSB for in-range
+    /// values.
+    #[test]
+    fn quantizer_round_trip_bounded(x in -10.0f32..10.0, bits in 4u32..17) {
+        let q = Quantizer::fit(bits, 10.0);
+        let err = (q.dequantize(q.quantize(x)) - x).abs();
+        prop_assert!(err <= q.max_error() * 1.01, "err {err} > {}", q.max_error());
+    }
+
+    /// Bit slicing is a bijection on in-range magnitudes.
+    #[test]
+    fn slice_unslice_identity(mag in 0u64..65536, cell_bits in 1u32..9) {
+        let slices = mag.div_ceil(1).max(1); // placeholder to satisfy range math
+        let _ = slices;
+        let n = (16u32.div_ceil(cell_bits)) as usize + 1;
+        let s = slice_magnitude(mag, cell_bits, n);
+        prop_assert_eq!(unslice(&s, cell_bits), mag);
+        for v in &s {
+            prop_assert!(*v < (1 << cell_bits));
+        }
+    }
+
+    /// The differential split reconstructs the signed code.
+    #[test]
+    fn differential_split_reconstructs(q in -100_000i64..100_000) {
+        let (p, n) = differential_split(q);
+        prop_assert_eq!(p as i64 - n as i64, q);
+        prop_assert!(p == 0 || n == 0);
+    }
+
+    /// The tiled crossbar MVM tracks the exact product within quantization
+    /// error on random matrices and vectors.
+    #[test]
+    fn tiled_mvm_tracks_exact(
+        rows in 1usize..40,
+        cols in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let w = Matrix::from_fn(Shape2::new(rows, cols), |r, c| {
+            let k = (seed as usize).wrapping_add(r * 31 + c * 17) % 41;
+            (k as f32 - 20.0) / 20.0
+        });
+        let x: Vec<f32> = (0..cols)
+            .map(|i| (((seed as usize + i * 13) % 23) as f32 - 11.0) / 11.0)
+            .collect();
+        let cfg = CrossbarConfig { rows: 16, cols: 32, ..CrossbarConfig::default() };
+        let mut t = TiledMatrix::program(&w, &cfg);
+        let got = t.matvec(&x);
+        let want = w.matvec(&x);
+        for (g, e) in got.iter().zip(&want) {
+            // Error budget: weight LSB + input LSB accumulated over cols.
+            let tol = 0.002 * cols as f32 + 0.01;
+            prop_assert!((g - e).abs() <= tol, "{g} vs {e} (tol {tol})");
+        }
+    }
+
+    /// crop ∘ zero_pad is the identity for any tensor.
+    #[test]
+    fn pad_crop_identity(
+        n in 1usize..3, c in 1usize..4, h in 1usize..6, w in 1usize..6, pad in 0usize..4,
+    ) {
+        let t = Tensor::from_fn(Shape4::new(n, c, h, w), |a, b, cc, d| {
+            (a * 7 + b * 5 + cc * 3 + d) as f32
+        });
+        prop_assert_eq!(ops::crop(&ops::zero_pad(&t, pad), pad), t);
+    }
+
+    /// Dilation preserves the element sum and scales the extent correctly.
+    #[test]
+    fn dilate_preserves_mass(
+        h in 1usize..6, w in 1usize..6, stride in 1usize..4,
+    ) {
+        let t = Tensor::from_fn(Shape4::new(1, 2, h, w), |_, c, y, x| {
+            (c + y * w + x) as f32
+        });
+        let d = ops::dilate(&t, stride);
+        prop_assert!((d.sum() - t.sum()).abs() < 1e-3);
+        prop_assert_eq!(d.shape().h, (h - 1) * stride + 1);
+    }
+
+    /// Convolution linearity: conv(a·x) = a·conv(x).
+    #[test]
+    fn conv_is_linear(scale in -2.0f32..2.0, seed in 0u64..100) {
+        let x = Tensor::from_fn(Shape4::new(1, 2, 5, 5), |_, c, h, w| {
+            ((seed as usize + c * 11 + h * 3 + w) % 7) as f32 / 7.0
+        });
+        let k = Tensor::from_fn(Shape4::new(3, 2, 3, 3), |o, c, h, w| {
+            ((o * 13 + c * 5 + h + w) % 5) as f32 / 5.0 - 0.4
+        });
+        let y1 = ops::conv2d(&x.map(|v| v * scale), &k, None, 1, 1);
+        let y2 = ops::conv2d(&x, &k, None, 1, 1).map(|v| v * scale);
+        prop_assert!(y1.squared_distance(&y2) < 1e-3);
+    }
+
+    /// The pipeline simulator always equals the paper's closed form.
+    #[test]
+    fn pipeline_sim_equals_formula(l in 1usize..20, b in 1usize..65, batches in 1u64..6) {
+        let p = PipelineModel::new(l, b);
+        let n = batches * b as u64;
+        prop_assert_eq!(p.simulate_training(n).total_cycles, p.training_cycles(n));
+    }
+
+    /// Pipelined training never exceeds sequential training in cycles.
+    #[test]
+    fn pipeline_never_slower(l in 1usize..20, b in 1usize..65) {
+        let p = PipelineModel::new(l, b);
+        let n = 4 * b as u64;
+        prop_assert!(p.training_cycles(n) <= p.sequential_training_cycles(n));
+    }
+
+    /// ReGAN schedule simulation equals the closed forms at every level,
+    /// and each optimization level is at least as fast as the previous.
+    ///
+    /// The no-pipeline → pipeline step is only claimed for `B >= 2`: with a
+    /// batch of one there is nothing to overlap, and the paper's pipelined
+    /// formulas still pay their explicit weight-update cycles while the
+    /// no-pipeline formulas fold updates into the per-input counts.
+    #[test]
+    fn regan_sim_and_monotonicity(l_d in 1usize..12, l_g in 1usize..12, b in 2usize..130) {
+        let p = ReganPipeline::new(l_d, l_g, b);
+        let mut prev = u64::MAX;
+        for opt in ReganOpt::ALL {
+            prop_assert_eq!(p.simulate_iteration(opt), p.iteration_cycles(opt));
+            let c = p.iteration_cycles(opt);
+            prop_assert!(c <= prev, "{} regressed: {c} > {prev}", opt.name());
+            prev = c;
+        }
+    }
+
+    /// SP and CS help at every batch size, including B = 1 (they exploit
+    /// hardware duplication and path sharing, not batch overlap).
+    #[test]
+    fn regan_sp_cs_help_even_at_batch_one(l_d in 1usize..12, l_g in 1usize..12, b in 1usize..130) {
+        let p = ReganPipeline::new(l_d, l_g, b);
+        prop_assert!(
+            p.iteration_cycles(ReganOpt::PipelineSp) < p.iteration_cycles(ReganOpt::Pipeline)
+        );
+        prop_assert!(
+            p.iteration_cycles(ReganOpt::PipelineSpCs) < p.iteration_cycles(ReganOpt::PipelineSp)
+        );
+    }
+
+    /// Max pooling backward routes exactly the upstream gradient mass.
+    #[test]
+    fn max_pool_gradient_mass(h in 2usize..8, seed in 0u64..50) {
+        let t = Tensor::from_fn(Shape4::new(1, 1, 2 * h, 2 * h), |_, _, y, x| {
+            ((seed as usize + y * 31 + x * 17) % 97) as f32
+        });
+        let (y, idx) = ops::max_pool2d(&t, 2, 2);
+        let g = Tensor::from_fn(y.shape(), |_, _, a, b| (a + b) as f32 + 1.0);
+        let gin = ops::max_pool2d_backward(&g, &idx);
+        prop_assert!((gin.sum() - g.sum()).abs() < 1e-3);
+    }
+
+    /// FC forward/backward gradient consistency on random sizes.
+    #[test]
+    fn linear_backward_shapes(batch in 1usize..5, fin in 1usize..10, fout in 1usize..10) {
+        let x = Matrix::from_fn(Shape2::new(batch, fin), |r, c| (r + c) as f32 * 0.1);
+        let w = Matrix::from_fn(Shape2::new(fout, fin), |r, c| (r as f32 - c as f32) * 0.1);
+        let y = ops::linear(&x, &w, None);
+        prop_assert_eq!(y.shape(), Shape2::new(batch, fout));
+        let g = Matrix::from_fn(y.shape(), |_, _| 1.0);
+        prop_assert_eq!(ops::linear_backward_input(&g, &w).shape(), x.shape());
+        prop_assert_eq!(ops::linear_backward_weight(&g, &x).shape(), w.shape());
+    }
+}
