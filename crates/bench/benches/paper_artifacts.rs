@@ -47,9 +47,11 @@ fn bench_regan_pipeline(c: &mut Criterion) {
 fn bench_regan_opt(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig9_regan_opt");
     for (name, ch, hw) in fig9::DATASETS {
-        g.bench_with_input(BenchmarkId::new("levels", name), &(ch, hw), |b, &(ch, hw)| {
-            b.iter(|| black_box(fig9::cycles_by_level(ch, hw, 64)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("levels", name),
+            &(ch, hw),
+            |b, &(ch, hw)| b.iter(|| black_box(fig9::cycles_by_level(ch, hw, 64))),
+        );
     }
     g.finish();
 }
@@ -71,9 +73,11 @@ fn bench_table1_pipelayer(c: &mut Criterion) {
 fn bench_table1_regan(c: &mut Criterion) {
     let mut g = c.benchmark_group("table1_regan");
     for (name, ch, hw) in fig9::DATASETS {
-        g.bench_with_input(BenchmarkId::new("compare", name), &(ch, hw), |b, &(ch, hw)| {
-            b.iter(|| black_box(table1::regan_row(name, ch, hw, 64, 50)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("compare", name),
+            &(ch, hw),
+            |b, &(ch, hw)| b.iter(|| black_box(table1::regan_row(name, ch, hw, 64, 50))),
+        );
     }
     g.finish();
 }

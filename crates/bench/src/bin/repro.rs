@@ -3,11 +3,23 @@
 //! ```text
 //! cargo run -p reram-bench --bin repro --release             # everything
 //! cargo run -p reram-bench --bin repro --release -- table1   # one artifact
+//! cargo run -p reram-bench --bin repro --release -- --json out.json
 //! ```
 //!
 //! Artifacts: `fig3 fig4 fig5 fig7 fig8 fig9 table1 ablations`.
+//!
+//! With `--json <path>`, a telemetry recorder observes the whole run and a
+//! structured [`reram_telemetry::RunReport`] is written to `<path>`: the
+//! LeNet per-layer closed-form breakdown (cycles, ADC conversions, cell
+//! writes) plus stage spans and raw event totals from the experiments
+//! themselves. The human-readable tables on stdout are unchanged.
+
+use std::sync::Arc;
 
 use reram_bench::experiments::{ablations, fig3, fig4, fig5, fig7, fig8, fig9, table1};
+use reram_core::AcceleratorConfig;
+use reram_nn::models;
+use reram_telemetry::CounterRecorder;
 
 fn section(title: &str, body: String) {
     println!("== {title} ==");
@@ -45,15 +57,30 @@ fn run(artifact: &str) -> bool {
             table1::run().render(),
         ),
         "ablations" => {
-            section("Ablation: spike-code input precision", ablations::spike_precision().render());
-            section("Ablation: crossbar array size (AlexNet)", ablations::array_size().render());
-            section("Ablation: batch size vs pipeline overhead", ablations::batch_size().render());
+            section(
+                "Ablation: spike-code input precision",
+                ablations::spike_precision().render(),
+            );
+            section(
+                "Ablation: crossbar array size (AlexNet)",
+                ablations::array_size().render(),
+            );
+            section(
+                "Ablation: batch size vs pipeline overhead",
+                ablations::batch_size().render(),
+            );
             section(
                 "Ablation: replication array budget (VGG-A)",
                 ablations::replication_budget().render(),
             );
-            section("Ablation: device variation / read noise", ablations::device_noise().render());
-            section("Ablation: stuck-at cell faults", ablations::stuck_faults().render());
+            section(
+                "Ablation: device variation / read noise",
+                ablations::device_noise().render(),
+            );
+            section(
+                "Ablation: stuck-at cell faults",
+                ablations::stuck_faults().render(),
+            );
             section(
                 "Analysis: ReRAM endurance under continuous in-situ training",
                 ablations::endurance().render(),
@@ -78,19 +105,61 @@ fn run(artifact: &str) -> bool {
 
 fn main() {
     const ALL: [&str; 8] = [
-        "fig3", "fig4", "fig5", "fig7", "fig8", "fig9", "table1", "ablations",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig7",
+        "fig8",
+        "fig9",
+        "table1",
+        "ablations",
     ];
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
-        for a in ALL {
-            assert!(run(a), "built-in artifact {a} must exist");
+    let mut artifacts: Vec<String> = Vec::new();
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--json" {
+            match args.next() {
+                Some(path) => json_path = Some(path),
+                None => {
+                    eprintln!("--json requires an output path");
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            artifacts.push(arg);
         }
-        return;
     }
-    for a in &args {
+    if artifacts.is_empty() {
+        artifacts = ALL.iter().map(|a| (*a).to_string()).collect();
+    }
+
+    let counters = json_path.as_ref().map(|_| {
+        let counters = Arc::new(CounterRecorder::new());
+        reram_telemetry::set_recorder(counters.clone());
+        counters
+    });
+
+    for a in &artifacts {
         if !run(a) {
             eprintln!("unknown artifact '{a}'; expected one of {ALL:?}");
             std::process::exit(1);
         }
+    }
+
+    if let (Some(path), Some(counters)) = (json_path, counters) {
+        reram_telemetry::clear_recorder();
+        let net = models::lenet_spec();
+        let report = reram_core::build_run_report(
+            &artifacts.join("+"),
+            &net,
+            &AcceleratorConfig::default(),
+            &counters,
+        );
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("failed to write report to {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote run report to {path}");
     }
 }

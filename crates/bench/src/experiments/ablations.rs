@@ -4,8 +4,8 @@
 
 use crate::Table;
 use reram_core::{
-    AcceleratorConfig, BankShape, ChipPlan, EnduranceClass, EnduranceReport,
-    PipeLayerAccelerator, PipelineModel, ReplicationPolicy,
+    AcceleratorConfig, BankShape, ChipPlan, EnduranceClass, EnduranceReport, PipeLayerAccelerator,
+    PipelineModel, ReplicationPolicy,
 };
 use reram_crossbar::{CrossbarConfig, TiledMatrix};
 use reram_nn::models;
@@ -110,8 +110,8 @@ pub fn replication_budget() -> Table {
     let net = models::vgg_a_spec();
     let mut t = Table::new(["array budget", "arrays used", "train time (512 in)", "area"]);
     for budget in [16_384usize, 65_536, 131_072, 524_288] {
-        let cfg = AcceleratorConfig::default()
-            .with_replication(ReplicationPolicy::ArrayBudget(budget));
+        let cfg =
+            AcceleratorConfig::default().with_replication(ReplicationPolicy::ArrayBudget(budget));
         let r = PipeLayerAccelerator::new(cfg).train_cost(&net, 32, 512);
         t.row([
             budget.to_string(),
@@ -158,10 +158,22 @@ pub fn readout_schemes() -> Table {
     let mut t = Table::new(["readout", "periphery area", "energy/MVM", "frame stretch"]);
     let schemes = [
         ("spike I&F / bitline", ReadoutKind::SpikeIf),
-        ("8b ADC, share 128", ReadoutKind::Adc { bits: 8, share: 128 }),
+        (
+            "8b ADC, share 128",
+            ReadoutKind::Adc {
+                bits: 8,
+                share: 128,
+            },
+        ),
         ("8b ADC, share 16", ReadoutKind::Adc { bits: 8, share: 16 }),
         ("8b ADC / bitline", ReadoutKind::Adc { bits: 8, share: 1 }),
-        ("10b ADC, share 128", ReadoutKind::Adc { bits: 10, share: 128 }),
+        (
+            "10b ADC, share 128",
+            ReadoutKind::Adc {
+                bits: 10,
+                share: 128,
+            },
+        ),
     ];
     for (name, kind) in schemes {
         let c = model.mvm_cost(kind, &cfg);
@@ -186,7 +198,11 @@ pub fn energy_breakdown() -> Table {
         "weight update",
         "total (512 in)",
     ]);
-    for net in [models::lenet_spec(), models::alexnet_spec(), models::vgg_a_spec()] {
+    for net in [
+        models::lenet_spec(),
+        models::alexnet_spec(),
+        models::vgg_a_spec(),
+    ] {
         let timing = NetworkTiming::analyze(&net, &AcceleratorConfig::default());
         let b = timing.training_energy_breakdown(512, 16);
         let pct = |x: f64| format!("{:.1}%", 100.0 * x / b.total_j());
@@ -218,7 +234,12 @@ pub fn chip_plan() -> Table {
         models::alexnet_spec(),
         models::vgg_a_spec(),
     ] {
-        let p = ChipPlan::plan(&net, &AcceleratorConfig::default(), BankShape::default(), 32);
+        let p = ChipPlan::plan(
+            &net,
+            &AcceleratorConfig::default(),
+            BankShape::default(),
+            32,
+        );
         t.row([
             net.name.clone(),
             p.compute_arrays.to_string(),
@@ -254,7 +275,14 @@ fn mvm_rel_error(cfg: &CrossbarConfig) -> f64 {
 /// Device-variation ablation: MVM error vs. programming/read noise sigma.
 pub fn device_noise() -> Table {
     let mut t = Table::new(["write sigma", "read sigma", "mean rel err"]);
-    for &(ws, rs) in &[(0.0, 0.0), (0.01, 0.0), (0.0, 0.01), (0.02, 0.02), (0.05, 0.05), (0.1, 0.1)] {
+    for &(ws, rs) in &[
+        (0.0, 0.0),
+        (0.01, 0.0),
+        (0.0, 0.01),
+        (0.02, 0.02),
+        (0.05, 0.05),
+        (0.1, 0.1),
+    ] {
         let cfg = CrossbarConfig::default().with_noise(ws, rs, 99);
         t.row([
             format!("{ws:.2}"),
@@ -273,7 +301,13 @@ pub fn device_noise_error(sigma: f64) -> f64 {
 /// Stuck-at-fault ablation: MVM error vs. faulty-cell fraction.
 pub fn stuck_faults() -> Table {
     let mut t = Table::new(["stuck-off", "stuck-on", "mean rel err"]);
-    for &(off, on) in &[(0.0, 0.0), (0.001, 0.001), (0.005, 0.005), (0.01, 0.01), (0.05, 0.05)] {
+    for &(off, on) in &[
+        (0.0, 0.0),
+        (0.001, 0.001),
+        (0.005, 0.005),
+        (0.01, 0.01),
+        (0.05, 0.05),
+    ] {
         let cfg = CrossbarConfig::default().with_faults(off, on, 101);
         t.row([
             format!("{:.1}%", off * 100.0),
@@ -313,7 +347,9 @@ mod tests {
         let time = |budget| {
             let cfg = AcceleratorConfig::default()
                 .with_replication(ReplicationPolicy::ArrayBudget(budget));
-            PipeLayerAccelerator::new(cfg).train_cost(&net, 32, 512).time_s
+            PipeLayerAccelerator::new(cfg)
+                .train_cost(&net, 32, 512)
+                .time_s
         };
         assert!(time(524_288) <= time(65_536));
         assert!(time(65_536) <= time(16_384));

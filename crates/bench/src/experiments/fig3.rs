@@ -42,8 +42,7 @@ pub fn measure(out_dim: usize, in_dim: usize) -> TileRow {
         .map(|(a, b)| (a - b).abs() as f64)
         .sum::<f64>()
         / out_dim as f64;
-    let mean_abs_ref =
-        want.iter().map(|v| v.abs() as f64).sum::<f64>() / out_dim as f64;
+    let mean_abs_ref = want.iter().map(|v| v.abs() as f64).sum::<f64>() / out_dim as f64;
     TileRow {
         out_dim,
         in_dim,

@@ -12,7 +12,8 @@ use reram_nn::LayerSpec;
 use reram_tensor::{init, ops, Shape4, Tensor};
 
 /// DCGAN generator FCNN shapes `(in_c, out_c, in_hw)` with k=4, s=2, p=1.
-pub const LAYERS: [(usize, usize, usize); 4] = [(1024, 512, 4), (512, 256, 8), (256, 128, 16), (128, 3, 32)];
+pub const LAYERS: [(usize, usize, usize); 4] =
+    [(1024, 512, 4), (512, 256, 8), (256, 128, 16), (128, 3, 32)];
 
 /// Functional check: forward matches scatter semantics, backward-input is
 /// the strided convolution. Returns `(forward_rms, backward_rms)` of a

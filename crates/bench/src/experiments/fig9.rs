@@ -87,12 +87,7 @@ mod tests {
         for (_, c, hw) in DATASETS {
             let cycles = cycles_by_level(c, hw, 64);
             for w in cycles.windows(2) {
-                assert!(
-                    w[0].1 > w[1].1,
-                    "{:?} !> {:?} at {c}ch {hw}px",
-                    w[0],
-                    w[1]
-                );
+                assert!(w[0].1 > w[1].1, "{:?} !> {:?} at {c}ch {hw}px", w[0], w[1]);
             }
         }
     }

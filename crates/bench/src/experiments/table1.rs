@@ -55,7 +55,13 @@ pub fn pipelayer_row(net: &NetworkSpec, batch: usize, n: u64) -> ComparisonRow {
 }
 
 /// ReGAN training comparison on one dataset shape.
-pub fn regan_row(name: &str, channels: usize, hw: usize, batch: usize, iters: u64) -> ComparisonRow {
+pub fn regan_row(
+    name: &str,
+    channels: usize,
+    hw: usize,
+    batch: usize,
+    iters: u64,
+) -> ComparisonRow {
     let g = models::dcgan_generator_spec(100, channels, hw);
     let d = models::dcgan_discriminator_spec(channels, hw);
     let accel = ReGanAccelerator::new(AcceleratorConfig::default(), ReganOpt::PipelineSpCs);
@@ -169,7 +175,12 @@ mod tests {
     fn regan_wins_on_every_dataset() {
         for r in regan_rows() {
             assert!(r.speedup > 1.0, "{}: speedup {}", r.workload, r.speedup);
-            assert!(r.energy_saving > 1.0, "{}: saving {}", r.workload, r.energy_saving);
+            assert!(
+                r.energy_saving > 1.0,
+                "{}: saving {}",
+                r.workload,
+                r.energy_saving
+            );
         }
     }
 
@@ -186,7 +197,10 @@ mod tests {
         assert!(pl_speed > pl_energy, "{pl_speed} vs {pl_energy}");
         // Shape 3: the GAN accelerator's win exceeds the CNN accelerator's
         // (paper: 240 vs 42.45).
-        assert!(rg_speed > pl_speed, "ReGAN {rg_speed} vs PipeLayer {pl_speed}");
+        assert!(
+            rg_speed > pl_speed,
+            "ReGAN {rg_speed} vs PipeLayer {pl_speed}"
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::timing::NetworkTiming;
 use crate::AcceleratorConfig;
 use reram_gpu::GpuCost;
 use reram_nn::NetworkSpec;
+use reram_telemetry::Span;
 use serde::{Deserialize, Serialize};
 
 /// Evaluation result of a workload on an accelerator.
@@ -79,9 +80,11 @@ impl PipeLayerAccelerator {
     ///
     /// Panics if `n` is not a positive multiple of `batch`.
     pub fn train_cost(&self, net: &NetworkSpec, batch: usize, n: u64) -> AccelReport {
+        let mut span = Span::enter("accel/train_cost");
         let timing = NetworkTiming::analyze(net, &self.config);
         let pipe = PipelineModel::new(net.weighted_layer_count(), batch);
         let cycles = pipe.training_cycles(n);
+        span.add_cycles(cycles);
         let batches = n / batch as u64;
         let compute_cycles = cycles - batches;
         AccelReport {
@@ -101,9 +104,11 @@ impl PipeLayerAccelerator {
     ///
     /// Panics if `n` is not a positive multiple of `batch`.
     pub fn train_cost_sequential(&self, net: &NetworkSpec, batch: usize, n: u64) -> AccelReport {
+        let mut span = Span::enter("accel/train_cost_sequential");
         let timing = NetworkTiming::analyze(net, &self.config);
         let pipe = PipelineModel::new(net.weighted_layer_count(), batch);
         let cycles = pipe.sequential_training_cycles(n);
+        span.add_cycles(cycles);
         let batches = n / batch as u64;
         let compute_cycles = cycles - batches;
         AccelReport {
@@ -122,9 +127,11 @@ impl PipeLayerAccelerator {
     ///
     /// Panics if `n == 0`.
     pub fn inference_cost(&self, net: &NetworkSpec, n: u64) -> AccelReport {
+        let mut span = Span::enter("accel/inference_cost");
         let timing = NetworkTiming::analyze(net, &self.config);
         let pipe = PipelineModel::new(net.weighted_layer_count(), 1);
         let cycles = pipe.inference_cycles(n);
+        span.add_cycles(cycles);
         AccelReport {
             name: format!("pipelayer-infer-{}", net.name),
             cycles,
@@ -174,6 +181,7 @@ impl ReGanAccelerator {
         iterations: u64,
     ) -> AccelReport {
         assert!(iterations > 0, "need at least one iteration");
+        let mut span = Span::enter("accel/regan_train_cost");
         let g_timing = NetworkTiming::analyze(generator, &self.config);
         let d_timing = NetworkTiming::analyze(discriminator, &self.config);
         let pipe = ReganPipeline::new(
@@ -182,13 +190,13 @@ impl ReGanAccelerator {
             batch,
         );
         let cycles = pipe.total_cycles(iterations, self.opt);
+        span.add_cycles(cycles);
         // Two update cycles per iteration (D and G).
         let update_cycles = 2 * iterations;
         let compute_cycles = cycles.saturating_sub(update_cycles);
         let cycle_ns = g_timing.training_cycle_ns.max(d_timing.training_cycle_ns);
         let update_ns = g_timing.update_cycle_ns.max(d_timing.update_cycle_ns);
-        let time_s =
-            (compute_cycles as f64 * cycle_ns + update_cycles as f64 * update_ns) * 1e-9;
+        let time_s = (compute_cycles as f64 * cycle_ns + update_cycles as f64 * update_ns) * 1e-9;
 
         // Energy per iteration, in crossbar passes over B inputs each:
         // ① D fwd + D bwd, ② G fwd + D fwd + D bwd, ③ G fwd + D fwd +
@@ -211,8 +219,8 @@ impl ReGanAccelerator {
         let update = d_timing.update_energy_pj * d_copies + g_timing.update_energy_pj;
         let energy_j = (iterations as f64 * (b * per_input + update)) * 1e-12;
 
-        let arrays = d_timing.total_arrays * pipe.discriminator_copies(self.opt)
-            + g_timing.total_arrays;
+        let arrays =
+            d_timing.total_arrays * pipe.discriminator_copies(self.opt) + g_timing.total_arrays;
         AccelReport {
             name: format!(
                 "regan-{}-{}+{}",
@@ -264,7 +272,11 @@ mod tests {
         // The Table I shape: order-of-magnitude speedup, smaller but
         // substantial energy saving.
         let gpu = GpuModel::gtx1080();
-        for net in [models::lenet_spec(), models::alexnet_spec(), models::vgg_a_spec()] {
+        for net in [
+            models::lenet_spec(),
+            models::alexnet_spec(),
+            models::vgg_a_spec(),
+        ] {
             let r = accel().train_cost(&net, 32, 128);
             let g = gpu.training_cost(&net, 32).times(128.0 / 32.0);
             let speedup = r.speedup_vs(&g);
@@ -282,7 +294,11 @@ mod tests {
         // the energy saving comes from). Small networks leave most arrays
         // idle and draw far less.
         let big = accel().train_cost(&models::vgg_a_spec(), 32, 128);
-        assert!((10.0..2000.0).contains(&big.average_power_w()), "{} W", big.average_power_w());
+        assert!(
+            (10.0..2000.0).contains(&big.average_power_w()),
+            "{} W",
+            big.average_power_w()
+        );
         let small = accel().train_cost(&models::lenet_spec(), 32, 128);
         assert!(
             small.average_power_w() < big.average_power_w(),
@@ -310,7 +326,12 @@ mod tests {
         let mut prev = f64::INFINITY;
         for opt in ReganOpt::ALL {
             let r = ReGanAccelerator::new(cfg.clone(), opt).train_cost(&g, &d, 32, 100);
-            assert!(r.time_s < prev, "{} did not improve: {}", opt.name(), r.time_s);
+            assert!(
+                r.time_s < prev,
+                "{} did not improve: {}",
+                opt.name(),
+                r.time_s
+            );
             prev = r.time_s;
         }
     }
@@ -320,8 +341,10 @@ mod tests {
         let g = models::dcgan_generator_spec(100, 3, 32);
         let d = models::dcgan_discriminator_spec(3, 32);
         let cfg = AcceleratorConfig::default();
-        let base = ReGanAccelerator::new(cfg.clone(), ReganOpt::Pipeline).train_cost(&g, &d, 32, 10);
-        let sp = ReGanAccelerator::new(cfg.clone(), ReganOpt::PipelineSp).train_cost(&g, &d, 32, 10);
+        let base =
+            ReGanAccelerator::new(cfg.clone(), ReganOpt::Pipeline).train_cost(&g, &d, 32, 10);
+        let sp =
+            ReGanAccelerator::new(cfg.clone(), ReganOpt::PipelineSp).train_cost(&g, &d, 32, 10);
         let cs = ReGanAccelerator::new(cfg, ReganOpt::PipelineSpCs).train_cost(&g, &d, 32, 10);
         assert!(sp.arrays > base.arrays, "SP must duplicate D's arrays");
         assert!(cs.energy_j < sp.energy_j, "CS must save shared-path energy");
@@ -333,9 +356,8 @@ mod tests {
         let gpu = GpuModel::gtx1080();
         let g = models::dcgan_generator_spec(100, 3, 64);
         let d = models::dcgan_discriminator_spec(3, 64);
-        let regan =
-            ReGanAccelerator::new(AcceleratorConfig::default(), ReganOpt::PipelineSpCs)
-                .train_cost(&g, &d, 64, 100);
+        let regan = ReGanAccelerator::new(AcceleratorConfig::default(), ReganOpt::PipelineSpCs)
+            .train_cost(&g, &d, 64, 100);
         let gpu_gan = gpu.gan_training_cost(&g, &d, 64).times(100.0);
         let gan_speedup = regan.speedup_vs(&gpu_gan);
         let net = models::lenet_spec();

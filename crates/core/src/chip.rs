@@ -147,7 +147,12 @@ mod tests {
     use reram_nn::models;
 
     fn plan(net: &NetworkSpec, batch: usize) -> ChipPlan {
-        ChipPlan::plan(net, &AcceleratorConfig::default(), BankShape::default(), batch)
+        ChipPlan::plan(
+            net,
+            &AcceleratorConfig::default(),
+            BankShape::default(),
+            batch,
+        )
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::isa::{Instruction, SubarrayMode};
 use crate::subarray::Bank;
 use reram_crossbar::CrossbarConfig;
 use reram_nn::activations::Activation;
+use reram_telemetry::Span;
 use reram_tensor::Matrix;
 
 /// One compiled layer: a weight matrix and an optional fused activation.
@@ -138,6 +139,7 @@ impl CompiledMlp {
     ///
     /// The setup program runs lazily before the first input.
     pub fn infer(&mut self, input: &[f32]) -> Vec<f32> {
+        let _span = Span::enter("bank/infer");
         if !self.setup_done {
             let setup = self.setup_program();
             let _ = self.bank.run(setup);
@@ -277,9 +279,7 @@ impl TrainableMlp {
             });
         }
         self.bank
-            .execute(Instruction::ReadMem {
-                mem: self.depth(),
-            })
+            .execute(Instruction::ReadMem { mem: self.depth() })
             .expect("read returns data")
     }
 
@@ -296,6 +296,7 @@ impl TrainableMlp {
     ///
     /// Panics if `target.len()` differs from the output width.
     pub fn train_step(&mut self, input: &[f32], target: &[f32], lr: f32) -> f32 {
+        let _span = Span::enter("bank/train_step");
         let depth = self.depth();
         let out = self.forward(input);
         assert_eq!(target.len(), out.len(), "target length");
@@ -444,9 +445,30 @@ mod tests {
         let m = mlp();
         let prog = m.inference_program(&[0.0; 8]);
         // load -> compute(0->1) -> compute(1->0) -> compute(0->1) -> read(1)
-        assert!(matches!(prog[1], Instruction::Compute { src_mem: 0, dst_mem: 1, .. }));
-        assert!(matches!(prog[2], Instruction::Compute { src_mem: 1, dst_mem: 0, .. }));
-        assert!(matches!(prog[3], Instruction::Compute { src_mem: 0, dst_mem: 1, .. }));
+        assert!(matches!(
+            prog[1],
+            Instruction::Compute {
+                src_mem: 0,
+                dst_mem: 1,
+                ..
+            }
+        ));
+        assert!(matches!(
+            prog[2],
+            Instruction::Compute {
+                src_mem: 1,
+                dst_mem: 0,
+                ..
+            }
+        ));
+        assert!(matches!(
+            prog[3],
+            Instruction::Compute {
+                src_mem: 0,
+                dst_mem: 1,
+                ..
+            }
+        ));
         assert!(matches!(prog[4], Instruction::ReadMem { mem: 1 }));
     }
 
@@ -542,7 +564,11 @@ mod tests {
             let h: Vec<f32> = h_pre.iter().map(|v| v.max(0.0)).collect();
             let y = w1.matvec(&h);
             let n = y.len() as f32;
-            let e1: Vec<f32> = y.iter().zip(&target).map(|(a, b)| 2.0 * (a - b) / n).collect();
+            let e1: Vec<f32> = y
+                .iter()
+                .zip(&target)
+                .map(|(a, b)| 2.0 * (a - b) / n)
+                .collect();
             let mut g1 = Matrix::zeros(w1.shape());
             for r in 0..w1.rows() {
                 for c in 0..w1.cols() {
@@ -573,8 +599,18 @@ mod tests {
         let h: Vec<f32> = w0.matvec(&x).iter().map(|v| v.max(0.0)).collect();
         let y_host = w1.matvec(&h);
         for i in 0..2 {
-            assert!((y_bank[i] - target[i]).abs() < 0.1, "bank {} vs {}", y_bank[i], target[i]);
-            assert!((y_host[i] - target[i]).abs() < 0.1, "host {} vs {}", y_host[i], target[i]);
+            assert!(
+                (y_bank[i] - target[i]).abs() < 0.1,
+                "bank {} vs {}",
+                y_bank[i],
+                target[i]
+            );
+            assert!(
+                (y_host[i] - target[i]).abs() < 0.1,
+                "host {} vs {}",
+                y_host[i],
+                target[i]
+            );
         }
     }
 

@@ -72,9 +72,8 @@ impl EnduranceReport {
         assert!(batch > 0, "batch size must be positive");
         let timing = NetworkTiming::analyze(net, config);
         let batch_cycles = (2 * net.weighted_layer_count() + batch) as f64;
-        let batch_time_s = (batch_cycles * timing.training_cycle_ns
-            + timing.update_cycle_ns)
-            * 1e-9;
+        let batch_time_s =
+            (batch_cycles * timing.training_cycle_ns + timing.update_cycle_ns) * 1e-9;
         let limits = [
             EnduranceClass::Conservative.write_limit(),
             EnduranceClass::Typical.write_limit(),
@@ -113,13 +112,8 @@ mod tests {
 
     #[test]
     fn endurance_classes_ordered() {
-        assert!(
-            EnduranceClass::Conservative.write_limit()
-                < EnduranceClass::Typical.write_limit()
-        );
-        assert!(
-            EnduranceClass::Typical.write_limit() < EnduranceClass::Optimistic.write_limit()
-        );
+        assert!(EnduranceClass::Conservative.write_limit() < EnduranceClass::Typical.write_limit());
+        assert!(EnduranceClass::Typical.write_limit() < EnduranceClass::Optimistic.write_limit());
     }
 
     #[test]
@@ -162,7 +156,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "batch size must be positive")]
     fn rejects_zero_batch() {
-        let _ =
-            EnduranceReport::analyze(&models::lenet_spec(), &AcceleratorConfig::default(), 0);
+        let _ = EnduranceReport::analyze(&models::lenet_spec(), &AcceleratorConfig::default(), 0);
     }
 }

@@ -51,6 +51,7 @@ pub mod isa;
 pub mod mapping;
 pub mod pipeline;
 pub mod regan;
+pub mod report;
 pub mod subarray;
 pub mod timing;
 
@@ -64,3 +65,4 @@ pub use endurance::{EnduranceClass, EnduranceReport};
 pub use mapping::{LayerMapping, MappingScheme, ReplicationPolicy};
 pub use pipeline::{PipelineModel, PipelineTrace};
 pub use regan::{ReganOpt, ReganPipeline};
+pub use report::{build_run_report, layer_adc_conversions, layer_cell_writes, layer_reports};

@@ -190,16 +190,12 @@ pub fn map_network(net: &NetworkSpec, config: &AcceleratorConfig) -> Vec<LayerMa
             assert!(budget > 0, "array budget must be positive");
             let bases: Vec<LayerMapping> = net
                 .weighted_layers()
-                .map(|l| {
-                    LayerMapping::map(l, config, MappingScheme::Balanced { replication: 1 })
-                })
+                .map(|l| LayerMapping::map(l, config, MappingScheme::Balanced { replication: 1 }))
                 .collect();
             let cost_at = |t: usize| -> u128 {
                 bases
                     .iter()
-                    .map(|m| {
-                        (m.base_arrays() as u128) * (m.mvms_per_input.div_ceil(t) as u128)
-                    })
+                    .map(|m| (m.base_arrays() as u128) * (m.mvms_per_input.div_ceil(t) as u128))
                     .sum()
             };
             let max_steps = bases.iter().map(|m| m.mvms_per_input).max().unwrap_or(1);
@@ -364,10 +360,8 @@ mod tests {
         assert_eq!(policy.replication_for(12544), 196);
         assert_eq!(policy.replication_for(64), 1);
         assert_eq!(policy.replication_for(1), 1);
-        let m = LayerMapping::map_with_policy(
-            &fig4_layer(),
-            &fig4_config().with_replication(policy),
-        );
+        let m =
+            LayerMapping::map_with_policy(&fig4_layer(), &fig4_config().with_replication(policy));
         assert!(m.steps_per_input <= 64);
     }
 

@@ -17,6 +17,7 @@
 //! traffic — whose total is asserted (in tests and by `debug_assert`)
 //! to equal the closed form.
 
+use reram_telemetry::{self as telemetry, Event, Span};
 use serde::{Deserialize, Serialize};
 
 /// Cycle-level model of the PipeLayer training/inference pipeline.
@@ -147,6 +148,7 @@ impl PipelineModel {
             "{n} inputs is not a positive multiple of batch {}",
             self.batch
         );
+        let mut span = Span::enter("pipeline/train");
         let l = self.layers;
         let b = self.batch as u64;
         let stages = 2 * l + 1;
@@ -210,6 +212,11 @@ impl PipelineModel {
             self.training_cycles(n),
             "simulator disagrees with the closed form"
         );
+        span.add_cycles(trace.total_cycles);
+        telemetry::with_recorder(|t| {
+            t.record(Event::BufferWrite, trace.buffer_writes);
+            t.record(Event::WeightUpdate, trace.weight_updates);
+        });
         trace
     }
 
@@ -223,6 +230,7 @@ impl PipelineModel {
     /// hazard.
     pub fn simulate_inference(&self, n: u64) -> PipelineTrace {
         assert!(n > 0, "need at least one input");
+        let mut span = Span::enter("pipeline/inference");
         let l = self.layers;
         let mut forward_busy = vec![0u64; l];
         let mut buffer_writes = 0u64;
@@ -260,6 +268,8 @@ impl PipelineModel {
             buffer_writes,
         };
         debug_assert_eq!(trace.total_cycles, self.inference_cycles(n));
+        span.add_cycles(trace.total_cycles);
+        telemetry::record(Event::BufferWrite, trace.buffer_writes);
         trace
     }
 }
@@ -293,11 +303,7 @@ mod tests {
                 let p = PipelineModel::new(l, b);
                 let n = (4 * b) as u64;
                 let trace = p.simulate_training(n);
-                assert_eq!(
-                    trace.total_cycles,
-                    p.training_cycles(n),
-                    "L={l} B={b}"
-                );
+                assert_eq!(trace.total_cycles, p.training_cycles(n), "L={l} B={b}");
             }
         }
     }
@@ -400,7 +406,10 @@ mod tests {
         // with L layers is (N/B)(2L + B + 1)."
         let (l, b, n) = (4usize, 16usize, 256u64);
         let p = PipelineModel::new(l, b);
-        assert_eq!(p.training_cycles(n), (n / b as u64) * (2 * l as u64 + b as u64 + 1));
+        assert_eq!(
+            p.training_cycles(n),
+            (n / b as u64) * (2 * l as u64 + b as u64 + 1)
+        );
         let trace = p.simulate_training(n);
         assert_eq!(trace.total_cycles, p.training_cycles(n));
     }

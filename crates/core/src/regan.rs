@@ -122,9 +122,7 @@ impl ReganPipeline {
             }
             // SP: ① runs on the duplicated D concurrently with ② and is
             // strictly shorter, so only ② (+ update) shows.
-            ReganOpt::PipelineSp | ReganOpt::PipelineSpCs => {
-                (self.phase2_latency() + b - 1) + 1
-            }
+            ReganOpt::PipelineSp | ReganOpt::PipelineSpCs => (self.phase2_latency() + b - 1) + 1,
         }
     }
 
@@ -233,7 +231,7 @@ impl ReganPipeline {
                 // Weight update folded into the per-input counts per the
                 // paper's formula.
                 let d_done = e2;
-                
+
                 phase_end(d_done + 1, p3, p3)
             }
             ReganOpt::Pipeline => {

@@ -1,0 +1,170 @@
+//! Assembly of structured run reports from accelerator analyses.
+//!
+//! Bridges the static analyses of this crate ([`NetworkTiming`], the layer
+//! mappings of Fig. 4) and the dynamic counters of `reram-telemetry` into
+//! one serializable [`RunReport`]: per-layer hardware cost from the closed
+//! forms, per-stage timing and raw event totals from whatever recorder the
+//! run installed. The closed forms here are the reference the telemetry
+//! counters are validated against — an instrumented simulation of a layer
+//! must observe exactly the conversion and write counts predicted below.
+
+use crate::mapping::LayerMapping;
+use crate::timing::NetworkTiming;
+use crate::AcceleratorConfig;
+use reram_nn::{LayerSpec, NetworkSpec};
+use reram_telemetry::{CounterRecorder, LayerReport, RunReport};
+
+/// Closed-form I&F/ADC conversions of one forward input through a mapped
+/// layer.
+///
+/// Every MVM walks `input_bits` spike frames; each frame converts every
+/// bitline of every engaged array (`2 · row_tiles · col_tiles` differential
+/// arrays per weight copy). Replication does not change the count: the same
+/// MVMs happen, just spread over more arrays.
+pub fn layer_adc_conversions(mapping: &LayerMapping, config: &AcceleratorConfig) -> u64 {
+    let frames = config.crossbar.input_bits as u64;
+    let cols = config.crossbar.cols as u64;
+    let arrays_per_copy = (2 * mapping.row_tiles * mapping.col_tiles) as u64;
+    mapping.mvms_per_input as u64 * arrays_per_copy * frames * cols
+}
+
+/// Closed-form cell writes of programming a mapped layer's arrays once.
+///
+/// A full (re)program touches every cell of every physical array, including
+/// replicated copies — the count behind `NetworkTiming::update_energy_pj`
+/// and the per-batch wear unit of `EnduranceReport`.
+pub fn layer_cell_writes(mapping: &LayerMapping, config: &AcceleratorConfig) -> u64 {
+    mapping.arrays as u64 * (config.crossbar.rows * config.crossbar.cols) as u64
+}
+
+fn layer_kind(spec: &LayerSpec) -> &'static str {
+    match spec {
+        LayerSpec::Conv { .. } => "conv",
+        LayerSpec::FracConv { .. } => "fracconv",
+        LayerSpec::Fc { .. } => "fc",
+        _ => "layer",
+    }
+}
+
+/// Per-layer hardware cost breakdown of `net` under `config`.
+///
+/// Layers are named by kind and 1-based position among the weighted layers
+/// ("conv1", "fc4", ...), in network order.
+///
+/// # Panics
+///
+/// Panics if the network has no weighted layers or the configuration is
+/// invalid.
+pub fn layer_reports(net: &NetworkSpec, config: &AcceleratorConfig) -> Vec<LayerReport> {
+    let timing = NetworkTiming::analyze(net, config);
+    net.weighted_layers()
+        .zip(&timing.mappings)
+        .enumerate()
+        .map(|(i, (spec, m))| LayerReport {
+            name: format!("{}{}", layer_kind(spec), i + 1),
+            arrays: m.arrays as u64,
+            mvms_per_input: m.mvms_per_input as u64,
+            cycles: m.steps_per_input as u64,
+            adc_conversions: layer_adc_conversions(m, config),
+            cell_writes: layer_cell_writes(m, config),
+            energy_pj: m.forward_energy_pj(),
+        })
+        .collect()
+}
+
+/// Builds a [`RunReport`] for one artifact: the per-layer closed-form
+/// breakdown for `net` plus everything `counters` observed (event totals,
+/// stage spans, metric samples).
+///
+/// # Panics
+///
+/// Panics if the network has no weighted layers or the configuration is
+/// invalid.
+pub fn build_run_report(
+    artifact: &str,
+    net: &NetworkSpec,
+    config: &AcceleratorConfig,
+    counters: &CounterRecorder,
+) -> RunReport {
+    let mut report = RunReport::new(artifact, net.name.clone());
+    report.layers = layer_reports(net, config);
+    report.stages = counters.span_reports();
+    report.totals = counters.snapshot();
+    report.metrics = counters.metric_samples();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reram_nn::models;
+    use reram_telemetry::Recorder;
+
+    #[test]
+    fn layer_reports_cover_weighted_layers() {
+        let net = models::lenet_spec();
+        let cfg = AcceleratorConfig::default();
+        let layers = layer_reports(&net, &cfg);
+        assert_eq!(layers.len(), net.weighted_layer_count());
+        assert_eq!(layers[0].name, "conv1");
+        assert_eq!(layers[4].name, "fc5");
+        assert!(layers.iter().all(|l| l.arrays > 0 && l.cycles > 0));
+    }
+
+    #[test]
+    fn cell_writes_match_update_energy_model() {
+        // layer_cell_writes is the count behind update_energy_pj: cells x
+        // per-cell write energy must reproduce the timing model's figure.
+        let net = models::alexnet_spec();
+        let cfg = AcceleratorConfig::default();
+        let timing = NetworkTiming::analyze(&net, &cfg);
+        let total_writes: u64 = layer_reports(&net, &cfg)
+            .iter()
+            .map(|l| l.cell_writes)
+            .sum();
+        let energy = total_writes as f64 * cfg.cost.cell_write_energy_pj;
+        assert!(
+            (energy - timing.update_energy_pj).abs() / timing.update_energy_pj < 1e-12,
+            "{energy} vs {}",
+            timing.update_energy_pj
+        );
+    }
+
+    #[test]
+    fn adc_conversions_match_inf_energy_model() {
+        // Conversions x per-conversion I&F energy must reproduce the cost
+        // model's inf component for one forward input.
+        let net = models::lenet_spec();
+        let cfg = AcceleratorConfig::default();
+        let timing = NetworkTiming::analyze(&net, &cfg);
+        for (layer, m) in layer_reports(&net, &cfg).iter().zip(&timing.mappings) {
+            let grid =
+                cfg.cost
+                    .grid_mvm_cost(&cfg.crossbar, m.row_tiles, m.col_tiles, cfg.activity);
+            let want = grid.energy.inf_pj * m.mvms_per_input as f64;
+            let got = layer.adc_conversions as f64 * cfg.cost.inf_energy_pj;
+            assert!(
+                (got - want).abs() / want < 1e-12,
+                "{}: {got} vs {want}",
+                layer.name
+            );
+        }
+    }
+
+    #[test]
+    fn run_report_assembles_and_round_trips() {
+        let net = models::lenet_spec();
+        let cfg = AcceleratorConfig::default();
+        let counters = CounterRecorder::new();
+        counters.record(reram_telemetry::Event::CrossbarMvm, 7);
+        counters.span("forward", 1000, 64);
+        counters.metric("train/loss", 1.5);
+        let report = build_run_report("table1", &net, &cfg, &counters);
+        assert_eq!(report.workload, "lenet-mnist");
+        assert_eq!(report.totals.crossbar_mvms, 7);
+        assert_eq!(report.stages.len(), 1);
+        assert_eq!(report.metrics.len(), 1);
+        let parsed = RunReport::from_json(&report.to_json()).expect("round trip");
+        assert_eq!(parsed, report);
+    }
+}

@@ -9,6 +9,7 @@
 
 use crate::isa::{Instruction, SubarrayMode};
 use reram_crossbar::{CrossbarConfig, TiledMatrix};
+use reram_telemetry::{self as telemetry, Event};
 use reram_tensor::Matrix;
 
 /// A morphable (full-function) ReRAM subarray.
@@ -50,6 +51,9 @@ impl MorphableSubarray {
     pub fn set_mode(&mut self, mode: SubarrayMode) {
         if mode != self.mode {
             self.mode_switches += 1;
+            if mode == SubarrayMode::Compute {
+                telemetry::record(Event::SubarrayActivation, 1);
+            }
             self.mode = mode;
         }
     }
@@ -278,6 +282,7 @@ impl Bank {
             Instruction::StoreBuffer { src_mem } => {
                 let data = self.memory[src_mem].clone();
                 self.stats.buffer_traffic += data.len() as u64;
+                telemetry::record(Event::BufferWrite, data.len() as u64);
                 self.buffer.push(data);
                 None
             }
@@ -369,10 +374,7 @@ mod tests {
     fn bank_executes_a_layer_program() {
         // Program a small weight matrix, load an input, compute with ReLU,
         // store to buffer, read back.
-        let w = Matrix::from_vec(
-            Shape2::new(2, 3),
-            vec![0.5, -0.5, 0.25, -0.25, 0.5, -0.5],
-        );
+        let w = Matrix::from_vec(Shape2::new(2, 3), vec![0.5, -0.5, 0.25, -0.25, 0.5, -0.5]);
         let x = vec![1.0, 0.5, -0.5];
         let mut bank = Bank::new(2, 4, &config());
         let outputs = bank.run(vec![

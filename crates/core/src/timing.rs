@@ -94,10 +94,7 @@ impl NetworkTiming {
         // Buffer traffic per input during training: every weighted layer's
         // output is written once, read by the next stage, and the stored
         // forward activation is re-read during backward (3 touches).
-        let activation_elems: f64 = net
-            .weighted_layers()
-            .map(|l| l.output_elems() as f64)
-            .sum();
+        let activation_elems: f64 = net.weighted_layers().map(|l| l.output_elems() as f64).sum();
         let buffer_energy_pj = config
             .cost
             .buffer_energy_pj((activation_elems * BYTES_PER_ELEM * 3.0) as u64);
@@ -122,7 +119,12 @@ impl NetworkTiming {
 
     /// Wall-clock time of `compute_cycles` pipeline cycles plus
     /// `update_cycles` weight-update cycles, seconds.
-    pub fn cycles_to_seconds(&self, compute_cycles: u64, update_cycles: u64, training: bool) -> f64 {
+    pub fn cycles_to_seconds(
+        &self,
+        compute_cycles: u64,
+        update_cycles: u64,
+        training: bool,
+    ) -> f64 {
         let cycle = if training {
             self.training_cycle_ns
         } else {
@@ -193,9 +195,8 @@ mod tests {
     fn cycle_time_bounded_by_replication_policy() {
         // MaxStepsPerLayer(64) with 16 input bits and default frames:
         // stage <= 64 MVMs x (16 frames + merge) ns.
-        let cfg = AcceleratorConfig::default().with_replication(
-            crate::mapping::ReplicationPolicy::MaxStepsPerLayer(64),
-        );
+        let cfg = AcceleratorConfig::default()
+            .with_replication(crate::mapping::ReplicationPolicy::MaxStepsPerLayer(64));
         let t = NetworkTiming::analyze(&models::vgg_a_spec(), &cfg);
         let per_mvm = 16.0 * cfg.cost.frame_latency_ns + 16.0 * cfg.cost.adder_latency_ns;
         assert!(

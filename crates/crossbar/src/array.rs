@@ -10,6 +10,7 @@ use crate::spike::{IntegrateFire, SpikeTrain};
 use crate::CrossbarConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use reram_telemetry::{self as telemetry, Event};
 
 /// Fixed-geometry crossbar of ReRAM cells with bit-serial analog MVM.
 ///
@@ -42,27 +43,26 @@ impl CrossbarArray {
             config.noise_seed,
         );
         let max_level = device.max_level();
-        let stuck: Vec<Option<u32>> =
-            if config.stuck_off_rate > 0.0 || config.stuck_on_rate > 0.0 {
-                // Distinct RNG stream from the variation RNG so enabling
-                // faults does not perturb the variation draws.
-                let mut rng =
-                    StdRng::seed_from_u64(config.noise_seed.wrapping_mul(0x51_7c_c1_b7_27_22_0a_95));
-                (0..config.rows * config.cols)
-                    .map(|_| {
-                        let r: f64 = rng.gen();
-                        if r < config.stuck_off_rate {
-                            Some(0)
-                        } else if r < config.stuck_off_rate + config.stuck_on_rate {
-                            Some(max_level)
-                        } else {
-                            None
-                        }
-                    })
-                    .collect()
-            } else {
-                vec![None; config.rows * config.cols]
-            };
+        let stuck: Vec<Option<u32>> = if config.stuck_off_rate > 0.0 || config.stuck_on_rate > 0.0 {
+            // Distinct RNG stream from the variation RNG so enabling
+            // faults does not perturb the variation draws.
+            let mut rng =
+                StdRng::seed_from_u64(config.noise_seed.wrapping_mul(0x51_7c_c1_b7_27_22_0a_95));
+            (0..config.rows * config.cols)
+                .map(|_| {
+                    let r: f64 = rng.gen();
+                    if r < config.stuck_off_rate {
+                        Some(0)
+                    } else if r < config.stuck_off_rate + config.stuck_on_rate {
+                        Some(max_level)
+                    } else {
+                        None
+                    }
+                })
+                .collect()
+        } else {
+            vec![None; config.rows * config.cols]
+        };
         let cells = stuck
             .iter()
             .map(|s| device.program(s.unwrap_or(0)))
@@ -121,7 +121,10 @@ impl CrossbarArray {
     ///
     /// Panics if the coordinate is out of range or the level too large.
     pub fn program_cell(&mut self, row: usize, col: usize, level: u32) {
-        assert!(row < self.rows && col < self.cols, "cell ({row},{col}) out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "cell ({row},{col}) out of range"
+        );
         let i = row * self.cols + col;
         let effective = self.stuck[i].unwrap_or(level);
         self.cells[i] = self.device.program(effective);
@@ -133,7 +136,10 @@ impl CrossbarArray {
     ///
     /// Panics if the coordinate is out of range.
     pub fn level_at(&self, row: usize, col: usize) -> u32 {
-        assert!(row < self.rows && col < self.cols, "cell ({row},{col}) out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "cell ({row},{col}) out of range"
+        );
         self.cells[row * self.cols + col].level()
     }
 
@@ -168,9 +174,11 @@ impl CrossbarArray {
         if !self.device.is_ideal() {
             // One equivalent read-noise draw per bitline; a dummy level-0
             // cell turns the device's read noise into additive current noise.
-            let dummy = self.device.program(0);
+            // The dummy is a readout artifact: it must not count as cell
+            // write/read traffic in endurance or telemetry accounting.
+            let dummy = self.device.noise_dummy();
             for cur in &mut currents {
-                *cur += self.device.read(&dummy) - dummy.conductance();
+                *cur += self.device.read_noise(&dummy);
             }
         }
         currents
@@ -196,6 +204,18 @@ impl CrossbarArray {
         );
         self.mvm_count += 1;
         let train = SpikeTrain::encode(codes, input_bits);
+        // Batched: one recorder acquisition for the whole MVM. Each of the
+        // `input_bits` frames drives every bitline through one I&F
+        // conversion, so conversions = frames x cols (core::timing's
+        // closed form).
+        telemetry::with_recorder(|t| {
+            t.record(Event::CrossbarMvm, 1);
+            t.record(Event::SpikeFrame, train.num_frames() as u64);
+            t.record(
+                Event::AdcConversion,
+                (train.num_frames() * self.cols) as u64,
+            );
+        });
         let mut inf = IntegrateFire::new();
         let mut acc = vec![0u64; self.cols];
         for t in 0..train.num_frames() {

@@ -8,6 +8,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use reram_telemetry::{self as telemetry, Event};
 
 /// One ReRAM cell: a target conductance level plus the actually-programmed
 /// (variation-affected) analog conductance.
@@ -96,6 +97,7 @@ impl ReramDeviceModel {
             self.levels
         );
         self.writes += 1;
+        telemetry::record(Event::CellWrite, 1);
         let noise = if self.write_sigma > 0.0 {
             self.write_sigma * self.gaussian()
         } else {
@@ -110,10 +112,40 @@ impl ReramDeviceModel {
     /// Reads a cell's conductance, adding read noise.
     pub fn read(&mut self, cell: &ReramCell) -> f64 {
         self.reads += 1;
+        telemetry::record(Event::CellRead, 1);
         if self.read_sigma > 0.0 {
             (cell.conductance + self.read_sigma * self.gaussian()).max(0.0)
         } else {
             cell.conductance
+        }
+    }
+
+    /// Programs an *uncounted* dummy level-0 cell for read-noise sampling.
+    ///
+    /// Draws from the same RNG stream as [`program`](Self::program) but
+    /// counts as neither a write nor a telemetry event: the dummy cell is a
+    /// measurement artifact of the readout circuit, not endurance traffic.
+    pub fn noise_dummy(&mut self) -> ReramCell {
+        let noise = if self.write_sigma > 0.0 {
+            self.write_sigma * self.gaussian()
+        } else {
+            0.0
+        };
+        ReramCell {
+            level: 0,
+            conductance: noise.max(0.0),
+        }
+    }
+
+    /// Additive read-noise sample for `cell`, without counting a read.
+    ///
+    /// Returns `read(cell) - cell.conductance()` using the same RNG stream
+    /// as [`read`](Self::read), leaving the read counter untouched.
+    pub fn read_noise(&mut self, cell: &ReramCell) -> f64 {
+        if self.read_sigma > 0.0 {
+            (cell.conductance + self.read_sigma * self.gaussian()).max(0.0) - cell.conductance
+        } else {
+            0.0
         }
     }
 
@@ -225,11 +257,32 @@ mod tests {
     }
 
     #[test]
+    fn noise_helpers_match_counted_path() {
+        // noise_dummy/read_noise must draw the same RNG stream as
+        // program(0)/read, differing only in what they count.
+        let mut counted = ReramDeviceModel::new(4, 0.1, 0.1, 42);
+        let mut free = ReramDeviceModel::new(4, 0.1, 0.1, 42);
+        let dummy_c = counted.program(0);
+        let dummy_f = free.noise_dummy();
+        assert_eq!(dummy_c.conductance(), dummy_f.conductance());
+        for _ in 0..5 {
+            let a = counted.read(&dummy_c) - dummy_c.conductance();
+            let b = free.read_noise(&dummy_f);
+            assert_eq!(a, b);
+        }
+        assert_eq!(free.write_count(), 0);
+        assert_eq!(free.read_count(), 0);
+    }
+
+    #[test]
     fn same_seed_reproduces_variation() {
         let mut a = ReramDeviceModel::new(4, 0.1, 0.0, 99);
         let mut b = ReramDeviceModel::new(4, 0.1, 0.0, 99);
         for level in [0, 5, 15, 3] {
-            assert_eq!(a.program(level).conductance(), b.program(level).conductance());
+            assert_eq!(
+                a.program(level).conductance(),
+                b.program(level).conductance()
+            );
         }
     }
 }

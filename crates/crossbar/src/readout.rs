@@ -96,7 +96,10 @@ impl ReadoutModel {
             },
             ReadoutKind::Adc { bits, share } => {
                 assert!(share > 0, "ADC sharing must be positive");
-                assert!((4..=12).contains(&bits), "ADC resolution {bits} outside 4..=12");
+                assert!(
+                    (4..=12).contains(&bits),
+                    "ADC resolution {bits} outside 4..=12"
+                );
                 let s = Self::adc_scale(bits);
                 let adcs = (config.cols as f64 / share as f64).ceil();
                 ReadoutCost {
@@ -163,8 +166,24 @@ mod tests {
     #[test]
     fn adc_energy_grows_exponentially_with_bits() {
         let m = ReadoutModel::default();
-        let e8 = m.mvm_cost(ReadoutKind::Adc { bits: 8, share: 128 }, &cfg()).energy_pj;
-        let e10 = m.mvm_cost(ReadoutKind::Adc { bits: 10, share: 128 }, &cfg()).energy_pj;
+        let e8 = m
+            .mvm_cost(
+                ReadoutKind::Adc {
+                    bits: 8,
+                    share: 128,
+                },
+                &cfg(),
+            )
+            .energy_pj;
+        let e10 = m
+            .mvm_cost(
+                ReadoutKind::Adc {
+                    bits: 10,
+                    share: 128,
+                },
+                &cfg(),
+            )
+            .energy_pj;
         assert!((e10 / e8 - 4.0).abs() < 1e-9);
     }
 
@@ -180,16 +199,19 @@ mod tests {
     #[test]
     #[should_panic(expected = "outside 4..=12")]
     fn rejects_extreme_adc_resolution() {
-        let _ = ReadoutModel::default().mvm_cost(
-            ReadoutKind::Adc { bits: 16, share: 8 },
-            &cfg(),
-        );
+        let _ = ReadoutModel::default().mvm_cost(ReadoutKind::Adc { bits: 16, share: 8 }, &cfg());
     }
 
     #[test]
     fn sharing_trades_area_for_latency() {
         let m = ReadoutModel::default();
-        let tight = m.mvm_cost(ReadoutKind::Adc { bits: 8, share: 128 }, &cfg());
+        let tight = m.mvm_cost(
+            ReadoutKind::Adc {
+                bits: 8,
+                share: 128,
+            },
+            &cfg(),
+        );
         let wide = m.mvm_cost(ReadoutKind::Adc { bits: 8, share: 16 }, &cfg());
         assert!(wide.area_um2 > tight.area_um2);
         assert!(wide.frame_latency_ns < tight.frame_latency_ns);

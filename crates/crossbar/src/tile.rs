@@ -15,6 +15,7 @@
 use crate::array::CrossbarArray;
 use crate::quant::{differential_split, slice_magnitude, Quantizer};
 use crate::CrossbarConfig;
+use reram_telemetry::{self as telemetry, Event};
 use reram_tensor::Matrix;
 
 /// A weight matrix programmed across a grid of differential crossbar pairs,
@@ -45,7 +46,10 @@ impl TiledMatrix {
         config
             .validate()
             .unwrap_or_else(|e| panic!("invalid crossbar config: {e}"));
-        assert!(w.rows() > 0 && w.cols() > 0, "cannot program an empty matrix");
+        assert!(
+            w.rows() > 0 && w.cols() > 0,
+            "cannot program an empty matrix"
+        );
         let (out_dim, in_dim) = (w.rows(), w.cols());
         let logical_cols = config.logical_cols();
         let row_tiles = in_dim.div_ceil(config.rows);
@@ -60,7 +64,7 @@ impl TiledMatrix {
             col_tiles,
             pos: Vec::with_capacity(row_tiles * col_tiles),
             neg: Vec::with_capacity(row_tiles * col_tiles),
-        reprogram_count: 0,
+            reprogram_count: 0,
         };
         for i in 0..row_tiles * col_tiles {
             // Vary the noise seed per array so variations are independent.
@@ -89,6 +93,7 @@ impl TiledMatrix {
         );
         self.weight_quant = Quantizer::fit(self.config.weight_bits, w.abs_max());
         self.reprogram_count += 1;
+        telemetry::record(Event::WeightUpdate, 1);
         self.write_levels(w);
     }
 
@@ -121,6 +126,7 @@ impl TiledMatrix {
             return cells;
         }
         self.reprogram_count += 1;
+        telemetry::record(Event::WeightUpdate, 1);
         let slices = self.config.slices_per_weight();
         let cell_bits = self.config.cell_bits;
         let logical_cols = self.config.logical_cols();
@@ -141,18 +147,14 @@ impl TiledMatrix {
                         }
                         let q = self.weight_quant.quantize(w.at(out_idx, in_idx));
                         let (p, n) = differential_split(q);
-                        for (k, &s) in
-                            slice_magnitude(p, cell_bits, slices).iter().enumerate()
-                        {
+                        for (k, &s) in slice_magnitude(p, cell_bits, slices).iter().enumerate() {
                             let col = j * slices + k;
                             if self.pos[idx].level_at(r, col) != s {
                                 self.pos[idx].program_cell(r, col, s);
                                 pulses += 1;
                             }
                         }
-                        for (k, &s) in
-                            slice_magnitude(n, cell_bits, slices).iter().enumerate()
-                        {
+                        for (k, &s) in slice_magnitude(n, cell_bits, slices).iter().enumerate() {
                             let col = j * slices + k;
                             if self.neg[idx].level_at(r, col) != s {
                                 self.neg[idx].program_cell(r, col, s);
@@ -259,8 +261,17 @@ impl TiledMatrix {
         let mut acc = vec![0i128; self.out_dim];
         // Two polarity passes: positive input magnitudes add, negative subtract.
         for (sign, polarity_codes) in [
-            (1i128, codes.iter().map(|&q| q.max(0) as u64).collect::<Vec<_>>()),
-            (-1i128, codes.iter().map(|&q| (-q).max(0) as u64).collect::<Vec<_>>()),
+            (
+                1i128,
+                codes.iter().map(|&q| q.max(0) as u64).collect::<Vec<_>>(),
+            ),
+            (
+                -1i128,
+                codes
+                    .iter()
+                    .map(|&q| (-q).max(0) as u64)
+                    .collect::<Vec<_>>(),
+            ),
         ] {
             if polarity_codes.iter().all(|&c| c == 0) {
                 continue;

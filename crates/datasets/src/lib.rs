@@ -215,10 +215,22 @@ mod tests {
 
     #[test]
     fn shapes_match_paper_datasets() {
-        assert_eq!(Dataset::mnist_like().image_shape(), Shape4::new(1, 1, 28, 28));
-        assert_eq!(Dataset::cifar10_like().image_shape(), Shape4::new(1, 3, 32, 32));
-        assert_eq!(Dataset::celeba_like().image_shape(), Shape4::new(1, 3, 64, 64));
-        assert_eq!(Dataset::lsun_like().image_shape(), Shape4::new(1, 3, 64, 64));
+        assert_eq!(
+            Dataset::mnist_like().image_shape(),
+            Shape4::new(1, 1, 28, 28)
+        );
+        assert_eq!(
+            Dataset::cifar10_like().image_shape(),
+            Shape4::new(1, 3, 32, 32)
+        );
+        assert_eq!(
+            Dataset::celeba_like().image_shape(),
+            Shape4::new(1, 3, 64, 64)
+        );
+        assert_eq!(
+            Dataset::lsun_like().image_shape(),
+            Shape4::new(1, 3, 64, 64)
+        );
         assert_eq!(
             Dataset::imagenet_like().image_shape(),
             Shape4::new(1, 3, 224, 224)
@@ -263,7 +275,10 @@ mod tests {
         let proto = ds.prototype(3);
         let per_pixel_a = x.batch_entry(0).squared_distance(&proto) / proto.len() as f32;
         // Noise sigma 0.25 -> expected per-pixel squared distance ~0.0625.
-        assert!(per_pixel_a < 0.2, "sample too far from prototype: {per_pixel_a}");
+        assert!(
+            per_pixel_a < 0.2,
+            "sample too far from prototype: {per_pixel_a}"
+        );
     }
 
     #[test]

@@ -115,9 +115,7 @@ impl LinearEngine {
     /// Grid reprogramming operations performed so far (forward grid only).
     pub fn reprogram_count(&self) -> u64 {
         match self {
-            LinearEngine::Crossbar {
-                tiled: Some(t), ..
-            } => t.reprogram_count(),
+            LinearEngine::Crossbar { tiled: Some(t), .. } => t.reprogram_count(),
             _ => 0,
         }
     }
@@ -303,7 +301,9 @@ mod tests {
     #[test]
     fn backward_on_crossbar_close_to_float() {
         let mut full = LinearEngine::crossbar_full(CrossbarConfig::default());
-        let g = Matrix::from_fn(Shape2::new(3, 6), |r, c| ((r * 3 + c) % 7) as f32 / 7.0 - 0.4);
+        let g = Matrix::from_fn(Shape2::new(3, 6), |r, c| {
+            ((r * 3 + c) % 7) as f32 / 7.0 - 0.4
+        });
         let got = full.matmul_backward(&g, &w());
         let want = ops::linear_backward_input(&g, &w());
         assert_eq!(got.shape(), want.shape());

@@ -193,7 +193,9 @@ impl Layer for BatchNorm {
             }
         };
 
-        let xhat = Tensor::from_fn(s, |n, c, h, w| (input.at(n, c, h, w) - mean[c]) * inv_std[c]);
+        let xhat = Tensor::from_fn(s, |n, c, h, w| {
+            (input.at(n, c, h, w) - mean[c]) * inv_std[c]
+        });
         let out = Tensor::from_fn(s, |n, c, h, w| {
             self.gamma[c] * xhat.at(n, c, h, w) + self.beta[c]
         });
@@ -241,8 +243,7 @@ impl Layer for BatchNorm {
             Tensor::from_fn(s, |n, c, h, w| {
                 let g = grad_out.at(n, c, h, w);
                 let xh = cache.xhat.at(n, c, h, w);
-                self.gamma[c] * cache.inv_std[c] / m
-                    * (m * g - sum_g[c] - xh * sum_gx[c])
+                self.gamma[c] * cache.inv_std[c] / m * (m * g - sum_g[c] - xh * sum_gx[c])
             })
         } else {
             // Statistics are constants (virtual BN / shifted divisor).
@@ -332,9 +333,8 @@ mod tests {
         let _ = y;
         let gin = bn.backward(&wts);
         let eps = 1e-2;
-        let loss = |bn: &mut BatchNorm, x: &Tensor| {
-            bn.forward(x, true).zip_map(&wts, |a, b| a * b).sum()
-        };
+        let loss =
+            |bn: &mut BatchNorm, x: &Tensor| bn.forward(x, true).zip_map(&wts, |a, b| a * b).sum();
         for &(n, c, h, w) in &[(0usize, 0usize, 0usize, 0usize), (2, 1, 1, 1), (1, 0, 1, 0)] {
             let mut bn2 = BatchNorm::new(2, NormMode::Batch);
             let mut xp = x.clone();
@@ -361,7 +361,11 @@ mod tests {
         // outputs are not re-centred.
         let shifted = reference.map(|v| v + 100.0);
         let y = bn.forward(&shifted, true);
-        assert!(y.mean() > 10.0, "virtual BN must not re-centre: {}", y.mean());
+        assert!(
+            y.mean() > 10.0,
+            "virtual BN must not re-centre: {}",
+            y.mean()
+        );
     }
 
     #[test]
@@ -384,7 +388,12 @@ mod tests {
         // Output variance is within 4x of unit (divisor off by at most
         // sqrt(2) in each direction).
         let mean = y.mean();
-        let var = y.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / y.len() as f32;
+        let var = y
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / y.len() as f32;
         assert!((0.25..4.0).contains(&var), "var {var}");
     }
 

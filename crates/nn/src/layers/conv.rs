@@ -37,7 +37,10 @@ impl Conv2d {
         pad: usize,
         rng: &mut impl Rng,
     ) -> Self {
-        assert!(in_c > 0 && out_c > 0 && k > 0 && stride > 0, "zero conv extent");
+        assert!(
+            in_c > 0 && out_c > 0 && k > 0 && stride > 0,
+            "zero conv extent"
+        );
         let shape = Shape4::new(out_c, in_c, k, k);
         Self {
             weight: init::xavier_uniform(shape, rng),

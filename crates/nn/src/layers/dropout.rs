@@ -21,7 +21,10 @@ impl Dropout {
     ///
     /// Panics if `keep` is not in `(0, 1]`.
     pub fn new(keep: f32, seed: u64) -> Self {
-        assert!(keep > 0.0 && keep <= 1.0, "keep probability {keep} outside (0, 1]");
+        assert!(
+            keep > 0.0 && keep <= 1.0,
+            "keep probability {keep} outside (0, 1]"
+        );
         Self {
             keep,
             rng: StdRng::seed_from_u64(seed),

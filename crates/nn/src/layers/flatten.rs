@@ -59,9 +59,7 @@ mod tests {
     #[test]
     fn round_trip() {
         let mut l = Flatten::new();
-        let x = Tensor::from_fn(Shape4::new(2, 3, 4, 5), |n, c, h, w| {
-            (n + c + h + w) as f32
-        });
+        let x = Tensor::from_fn(Shape4::new(2, 3, 4, 5), |n, c, h, w| (n + c + h + w) as f32);
         let y = l.forward(&x, true);
         assert_eq!(y.shape(), Shape4::new(2, 60, 1, 1));
         let back = l.backward(&y);

@@ -2,9 +2,9 @@
 //! corresponding expected output" (§II-A.2), with analytic gradients that
 //! seed the back-propagation pipeline.
 
-use reram_tensor::Tensor;
 #[cfg(test)]
 use reram_tensor::Shape4;
+use reram_tensor::Tensor;
 
 /// Mean softmax cross-entropy over a batch of logits.
 ///
@@ -92,7 +92,11 @@ pub fn mse(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
 /// Panics if either tensor is not a batch of scalar scores.
 pub fn wasserstein_critic(real_scores: &Tensor, fake_scores: &Tensor) -> (f32, Tensor, Tensor) {
     for s in [real_scores.shape(), fake_scores.shape()] {
-        assert_eq!(s.batch_stride(), 1, "wasserstein expects scalar scores, got {s}");
+        assert_eq!(
+            s.batch_stride(),
+            1,
+            "wasserstein expects scalar scores, got {s}"
+        );
     }
     let loss = fake_scores.mean() - real_scores.mean();
     let nr = real_scores.shape().n as f32;
@@ -110,7 +114,11 @@ pub fn wasserstein_critic(real_scores: &Tensor, fake_scores: &Tensor) -> (f32, T
 /// Panics if the tensor is not a batch of scalar scores.
 pub fn wasserstein_generator(fake_scores: &Tensor) -> (f32, Tensor) {
     let s = fake_scores.shape();
-    assert_eq!(s.batch_stride(), 1, "wasserstein expects scalar scores, got {s}");
+    assert_eq!(
+        s.batch_stride(),
+        1,
+        "wasserstein expects scalar scores, got {s}"
+    );
     let grad = Tensor::filled(s, -1.0 / s.n as f32);
     (-fake_scores.mean(), grad)
 }
@@ -251,10 +259,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_argmax() {
-        let logits = Tensor::from_vec(
-            Shape4::new(2, 3, 1, 1),
-            vec![0.1, 0.9, 0.0, 0.8, 0.1, 0.1],
-        );
+        let logits = Tensor::from_vec(Shape4::new(2, 3, 1, 1), vec![0.1, 0.9, 0.0, 0.8, 0.1, 0.1]);
         assert_eq!(accuracy(&logits, &[1, 0]), 1.0);
         assert_eq!(accuracy(&logits, &[0, 0]), 0.5);
     }

@@ -119,9 +119,7 @@ pub fn top_k_accuracy(logits: &Tensor, labels: &[usize], k: usize) -> f32 {
     for (n, &label) in labels.iter().enumerate() {
         assert!(label < s.c, "label {label} out of range {}", s.c);
         let target = logits.at(n, label, 0, 0);
-        let better = (0..s.c)
-            .filter(|&c| logits.at(n, c, 0, 0) > target)
-            .count();
+        let better = (0..s.c).filter(|&c| logits.at(n, c, 0, 0) > target).count();
         hits += (better < k) as usize;
     }
     hits as f32 / s.n as f32
@@ -168,10 +166,7 @@ mod tests {
 
     #[test]
     fn record_batch_uses_argmax() {
-        let logits = Tensor::from_vec(
-            Shape4::new(2, 3, 1, 1),
-            vec![0.1, 0.9, 0.0, 0.8, 0.1, 0.1],
-        );
+        let logits = Tensor::from_vec(Shape4::new(2, 3, 1, 1), vec![0.1, 0.9, 0.0, 0.8, 0.1, 0.1]);
         let mut cm = ConfusionMatrix::new(3);
         cm.record_batch(&logits, &[1, 2]);
         assert_eq!(cm.at(1, 1), 1); // correct
@@ -180,10 +175,7 @@ mod tests {
 
     #[test]
     fn top_k() {
-        let logits = Tensor::from_vec(
-            Shape4::new(1, 4, 1, 1),
-            vec![0.4, 0.3, 0.2, 0.1],
-        );
+        let logits = Tensor::from_vec(Shape4::new(1, 4, 1, 1), vec![0.4, 0.3, 0.2, 0.1]);
         assert_eq!(top_k_accuracy(&logits, &[0], 1), 1.0);
         assert_eq!(top_k_accuracy(&logits, &[1], 1), 0.0);
         assert_eq!(top_k_accuracy(&logits, &[1], 2), 1.0);

@@ -81,7 +81,10 @@ pub fn dcgan_generator(
     hw: usize,
     rng: &mut impl Rng,
 ) -> Network {
-    assert!(hw >= 8 && hw.is_multiple_of(4), "generator output {hw} must be 4k >= 8");
+    assert!(
+        hw >= 8 && hw.is_multiple_of(4),
+        "generator output {hw} must be 4k >= 8"
+    );
     // Upsample twice: hw/4 -> hw/2 -> hw.
     let s0 = hw / 4;
     Network::new("dcgan_g", Shape4::new(1, latent, 1, 1))
@@ -104,7 +107,10 @@ pub fn dcgan_generator(
 ///
 /// Panics if `hw` is not a multiple of 4 at least 8.
 pub fn dcgan_discriminator(in_c: usize, base_c: usize, hw: usize, rng: &mut impl Rng) -> Network {
-    assert!(hw >= 8 && hw.is_multiple_of(4), "discriminator input {hw} must be 4k >= 8");
+    assert!(
+        hw >= 8 && hw.is_multiple_of(4),
+        "discriminator input {hw} must be 4k >= 8"
+    );
     let s = hw / 4;
     Network::new("dcgan_d", Shape4::new(1, in_c, hw, hw))
         .push(Conv2d::new(in_c, base_c, 4, 2, 1, rng))
@@ -326,15 +332,15 @@ pub fn googlenet_spec() -> NetworkSpec {
     /// `(in_c, #1x1, #3x3reduce, #3x3, #5x5reduce, #5x5, pool_proj, hw)`.
     type Inception = (usize, usize, usize, usize, usize, usize, usize, usize);
     const INCEPTION: [Inception; 9] = [
-        (192, 64, 96, 128, 16, 32, 32, 28),   // 3a
-        (256, 128, 128, 192, 32, 96, 64, 28), // 3b
-        (480, 192, 96, 208, 16, 48, 64, 14),  // 4a
-        (512, 160, 112, 224, 24, 64, 64, 14), // 4b
-        (512, 128, 128, 256, 24, 64, 64, 14), // 4c
-        (512, 112, 144, 288, 32, 64, 64, 14), // 4d
+        (192, 64, 96, 128, 16, 32, 32, 28),     // 3a
+        (256, 128, 128, 192, 32, 96, 64, 28),   // 3b
+        (480, 192, 96, 208, 16, 48, 64, 14),    // 4a
+        (512, 160, 112, 224, 24, 64, 64, 14),   // 4b
+        (512, 128, 128, 256, 24, 64, 64, 14),   // 4c
+        (512, 112, 144, 288, 32, 64, 64, 14),   // 4d
         (528, 256, 160, 320, 32, 128, 128, 14), // 4e
-        (832, 256, 160, 320, 32, 128, 128, 7), // 5a
-        (832, 384, 192, 384, 48, 128, 128, 7), // 5b
+        (832, 256, 160, 320, 32, 128, 128, 7),  // 5a
+        (832, 384, 192, 384, 48, 128, 128, 7),  // 5b
     ];
     let mut layers = vec![
         conv(3, 64, 7, 2, 3, 224),
@@ -366,7 +372,10 @@ pub fn googlenet_spec() -> NetworkSpec {
 ///
 /// Panics if `hw < 16` or `hw` is not a power of two.
 pub fn dcgan_generator_spec(latent: usize, channels: usize, hw: usize) -> NetworkSpec {
-    assert!(hw >= 16 && hw.is_power_of_two(), "hw {hw} must be a power of two >= 16");
+    assert!(
+        hw >= 16 && hw.is_power_of_two(),
+        "hw {hw} must be a power of two >= 16"
+    );
     let mut layers = vec![LayerSpec::Fc {
         in_features: latent,
         out_features: 1024 * 4 * 4,
@@ -406,7 +415,10 @@ pub fn dcgan_generator_spec(latent: usize, channels: usize, hw: usize) -> Networ
 ///
 /// Panics if `hw < 16` or `hw` is not a power of two.
 pub fn dcgan_discriminator_spec(channels: usize, hw: usize) -> NetworkSpec {
-    assert!(hw >= 16 && hw.is_power_of_two(), "hw {hw} must be a power of two >= 16");
+    assert!(
+        hw >= 16 && hw.is_power_of_two(),
+        "hw {hw} must be a power of two >= 16"
+    );
     let mut layers = Vec::new();
     let mut c = channels;
     let mut size = hw;
@@ -503,8 +515,14 @@ mod tests {
             "live and static L differ"
         );
         // Same crossbar matrices for the weighted layers.
-        let a: Vec<_> = live.weighted_layers().map(|l| l.crossbar_matrix()).collect();
-        let b: Vec<_> = spec.weighted_layers().map(|l| l.crossbar_matrix()).collect();
+        let a: Vec<_> = live
+            .weighted_layers()
+            .map(|l| l.crossbar_matrix())
+            .collect();
+        let b: Vec<_> = spec
+            .weighted_layers()
+            .map(|l| l.crossbar_matrix())
+            .collect();
         assert_eq!(a, b);
     }
 

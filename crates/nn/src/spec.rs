@@ -109,7 +109,10 @@ impl LayerSpec {
                 in_h,
                 in_w,
                 ..
-            } => Some(((in_h - 1) * stride + k - 2 * pad, (in_w - 1) * stride + k - 2 * pad)),
+            } => Some((
+                (in_h - 1) * stride + k - 2 * pad,
+                (in_w - 1) * stride + k - 2 * pad,
+            )),
             LayerSpec::Pool {
                 k,
                 stride,

@@ -8,6 +8,7 @@
 use crate::losses::accuracy;
 use crate::Network;
 use rand::Rng;
+use reram_telemetry::{self as telemetry, Event, Span};
 use reram_tensor::Tensor;
 
 /// Training hyper-parameters.
@@ -113,11 +114,17 @@ impl Trainer {
 
     /// One training step on an explicit batch.
     pub fn step(&mut self, net: &mut Network, images: &Tensor, labels: &[usize]) -> (f32, f32) {
+        let _span = Span::enter("train/step");
         let lr = self.config.lr_at(self.step);
         let (loss, acc) = net.train_batch(images, labels, lr);
         self.history.losses.push(loss);
         self.history.accuracies.push(acc);
         self.step += 1;
+        telemetry::with_recorder(|t| {
+            t.record(Event::TrainStep, 1);
+            t.metric("train/loss", f64::from(loss));
+            t.metric("train/accuracy", f64::from(acc));
+        });
         (loss, acc)
     }
 
@@ -231,6 +238,31 @@ mod tests {
         let x = init::uniform(Shape4::new(4, 4, 1, 1), -1.0, 1.0, &mut rng);
         let acc = trainer.evaluate(&mut net, &x, &[0, 1, 0, 1]);
         assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn steps_emit_telemetry() {
+        let counters = std::sync::Arc::new(reram_telemetry::CounterRecorder::new());
+        let _guard = telemetry::scoped_recorder(counters.clone());
+        let mut rng = init::seeded_rng(4);
+        let mut net = models::mlp(4, &[8], 2, &mut rng);
+        let mut trainer = Trainer::new(TrainConfig::default());
+        let x = init::uniform(Shape4::new(4, 4, 1, 1), -1.0, 1.0, &mut rng);
+        for _ in 0..3 {
+            trainer.step(&mut net, &x, &[0, 1, 0, 1]);
+        }
+        assert_eq!(counters.count(Event::TrainStep), 3);
+        let metrics = counters.metrics();
+        assert_eq!(metrics.iter().filter(|(n, _)| n == "train/loss").count(), 3);
+        assert_eq!(
+            metrics
+                .iter()
+                .filter(|(n, _)| n == "train/accuracy")
+                .count(),
+            3
+        );
+        let spans = counters.span_reports();
+        assert!(spans.iter().any(|s| s.name == "train/step" && s.calls == 3));
     }
 
     #[test]

@@ -13,7 +13,11 @@ fn random_net(seed: u64, in_hw: usize, classes: usize) -> Network {
         .push(ActivationLayer::relu())
         .push(Pool2d::max(2))
         .push(Flatten::new())
-        .push(Linear::new(3 * (in_hw / 2) * (in_hw / 2), classes, &mut rng))
+        .push(Linear::new(
+            3 * (in_hw / 2) * (in_hw / 2),
+            classes,
+            &mut rng,
+        ))
 }
 
 fn random_input(seed: u64, n: usize, hw: usize) -> Tensor {

@@ -1,0 +1,151 @@
+//! The global recorder facade.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+use crate::Event;
+
+/// A sink for telemetry events, spans, and metrics.
+///
+/// Implementations must be cheap and thread-safe: instrumented code calls
+/// these methods from hot simulation loops (batched at array granularity,
+/// but still frequent). The default method bodies make span/metric support
+/// optional for counter-only sinks.
+pub trait Recorder: Send + Sync {
+    /// Records `count` occurrences of `event`.
+    fn record(&self, event: Event, count: u64);
+
+    /// Records a completed stage span with its wall-clock duration and the
+    /// simulated cycles attributed to it.
+    fn span(&self, name: &str, wall_ns: u64, sim_cycles: u64) {
+        let _ = (name, wall_ns, sim_cycles);
+    }
+
+    /// Records a scalar metric sample (e.g. training loss at a step).
+    fn metric(&self, name: &str, value: f64) {
+        let _ = (name, value);
+    }
+}
+
+/// Fast-path switch: `false` means every instrumentation call returns after
+/// one relaxed atomic load, without touching the recorder lock.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The installed recorder. A `RwLock` (not `OnceLock`) so tests can swap
+/// recorders; the write path only runs at install/teardown time.
+static RECORDER: RwLock<Option<Arc<dyn Recorder>>> = RwLock::new(None);
+
+/// Serializes [`scoped_recorder`] users so concurrently running tests never
+/// observe each other's events.
+static SCOPE: Mutex<()> = Mutex::new(());
+
+/// Whether a recorder is currently installed. Instrumented code may use
+/// this to skip preparing expensive event arguments.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs `recorder` as the process-global sink.
+///
+/// Prefer [`scoped_recorder`] in tests; this unscoped variant suits binaries
+/// that install one recorder for their whole run.
+pub fn set_recorder(recorder: Arc<dyn Recorder>) {
+    let mut slot = RECORDER.write().unwrap_or_else(|e| e.into_inner());
+    *slot = Some(recorder);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Removes the global recorder, returning instrumentation to no-op mode.
+pub fn clear_recorder() {
+    ENABLED.store(false, Ordering::Release);
+    let mut slot = RECORDER.write().unwrap_or_else(|e| e.into_inner());
+    *slot = None;
+}
+
+/// Installs `recorder` for the lifetime of the returned guard.
+///
+/// Guards are mutually exclusive process-wide: a second caller blocks until
+/// the first guard drops, which keeps parallel `cargo test` threads from
+/// polluting each other's counters.
+pub fn scoped_recorder(recorder: Arc<dyn Recorder>) -> ScopedRecorder {
+    let lock = SCOPE.lock().unwrap_or_else(|e| e.into_inner());
+    set_recorder(recorder);
+    ScopedRecorder { _lock: lock }
+}
+
+/// RAII guard from [`scoped_recorder`]; uninstalls the recorder on drop.
+pub struct ScopedRecorder {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for ScopedRecorder {
+    fn drop(&mut self) {
+        clear_recorder();
+    }
+}
+
+/// Runs `f` against the installed recorder, if any.
+///
+/// This is the batching primitive: one enabled-check and one lock
+/// acquisition for any number of `record` calls inside `f`.
+#[inline]
+pub fn with_recorder(f: impl FnOnce(&dyn Recorder)) {
+    if !enabled() {
+        return;
+    }
+    let guard = RECORDER.read().unwrap_or_else(|e| e.into_inner());
+    if let Some(recorder) = guard.as_ref() {
+        f(recorder.as_ref());
+    }
+}
+
+/// Records `count` occurrences of `event` against the installed recorder.
+#[inline]
+pub fn record(event: Event, count: u64) {
+    with_recorder(|r| r.record(event, count));
+}
+
+/// Records a scalar metric sample against the installed recorder.
+#[inline]
+pub fn metric(name: &str, value: f64) {
+    with_recorder(|r| r.metric(name, value));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CounterRecorder;
+
+    #[test]
+    fn disabled_by_default_and_scoped_install_works() {
+        let counters = Arc::new(CounterRecorder::new());
+        {
+            let _guard = scoped_recorder(counters.clone());
+            assert!(enabled());
+            record(Event::CellWrite, 3);
+            record(Event::CellWrite, 4);
+            metric("loss", 0.5);
+        }
+        assert!(!enabled());
+        record(Event::CellWrite, 100); // dropped: no recorder installed
+        assert_eq!(counters.count(Event::CellWrite), 7);
+        assert_eq!(counters.metrics(), vec![("loss".to_string(), 0.5)]);
+    }
+
+    #[test]
+    fn scopes_are_exclusive_and_sequential() {
+        let first = Arc::new(CounterRecorder::new());
+        let second = Arc::new(CounterRecorder::new());
+        {
+            let _guard = scoped_recorder(first.clone());
+            record(Event::CrossbarMvm, 1);
+        }
+        {
+            let _guard = scoped_recorder(second.clone());
+            record(Event::CrossbarMvm, 2);
+        }
+        assert_eq!(first.count(Event::CrossbarMvm), 1);
+        assert_eq!(second.count(Event::CrossbarMvm), 2);
+    }
+}

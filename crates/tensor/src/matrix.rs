@@ -127,13 +127,7 @@ impl Matrix {
             self.shape.cols
         );
         (0..self.shape.rows)
-            .map(|r| {
-                self.row(r)
-                    .iter()
-                    .zip(x)
-                    .map(|(&w, &v)| w * v)
-                    .sum::<f32>()
-            })
+            .map(|r| self.row(r).iter().zip(x).map(|(&w, &v)| w * v).sum::<f32>())
             .collect()
     }
 
@@ -144,11 +138,9 @@ impl Matrix {
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
-            self.shape.cols,
-            rhs.shape.rows,
+            self.shape.cols, rhs.shape.rows,
             "matmul: {} x {}",
-            self.shape,
-            rhs.shape
+            self.shape, rhs.shape
         );
         let out_shape = Shape2::new(self.shape.rows, rhs.shape.cols);
         let mut out = Matrix::zeros(out_shape);

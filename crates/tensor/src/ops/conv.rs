@@ -27,7 +27,10 @@ pub fn conv_output_hw(
         h + 2 * pad,
         w + 2 * pad
     );
-    ((h + 2 * pad - kh) / stride + 1, (w + 2 * pad - kw) / stride + 1)
+    (
+        (h + 2 * pad - kh) / stride + 1,
+        (w + 2 * pad - kw) / stride + 1,
+    )
 }
 
 /// 2-D convolution forward pass.
@@ -54,7 +57,13 @@ pub fn conv2d(
         is.c, ws.c
     );
     if let Some(b) = bias {
-        assert_eq!(b.len(), ws.n, "conv2d: bias length {} vs C_out {}", b.len(), ws.n);
+        assert_eq!(
+            b.len(),
+            ws.n,
+            "conv2d: bias length {} vs C_out {}",
+            b.len(),
+            ws.n
+        );
     }
     let (oh, ow) = conv_output_hw(is.h, is.w, ws.h, ws.w, stride, pad);
     let mut out = Tensor::zeros(Shape4::new(is.n, ws.n, oh, ow));
@@ -104,7 +113,11 @@ pub fn conv2d_backward_input(
 ) -> Tensor {
     let gs = grad_out.shape();
     let ws = weight.shape();
-    assert_eq!(gs.c, ws.n, "backward_input: grad channels {} vs C_out {}", gs.c, ws.n);
+    assert_eq!(
+        gs.c, ws.n,
+        "backward_input: grad channels {} vs C_out {}",
+        gs.c, ws.n
+    );
     assert_eq!(
         input_shape.c, ws.c,
         "backward_input: input channels {} vs kernel channels {}",
@@ -163,8 +176,14 @@ pub fn conv2d_backward_weight(
     let gs = grad_out.shape();
     let is = input.shape();
     assert_eq!(gs.n, is.n, "backward_weight: batch {} vs {}", gs.n, is.n);
-    assert_eq!(gs.c, weight_shape.n, "backward_weight: grad channels vs C_out");
-    assert_eq!(is.c, weight_shape.c, "backward_weight: input channels vs C_in");
+    assert_eq!(
+        gs.c, weight_shape.n,
+        "backward_weight: grad channels vs C_out"
+    );
+    assert_eq!(
+        is.c, weight_shape.c,
+        "backward_weight: input channels vs C_in"
+    );
     let mut gw = Tensor::zeros(weight_shape);
     for n in 0..gs.n {
         for co in 0..weight_shape.n {
@@ -230,14 +249,7 @@ pub fn conv2d_backward_bias(grad_out: &Tensor) -> Vec<f32> {
 /// # Panics
 ///
 /// Panics if `n` is out of range or the kernel does not fit.
-pub fn im2col(
-    input: &Tensor,
-    n: usize,
-    kh: usize,
-    kw: usize,
-    stride: usize,
-    pad: usize,
-) -> Matrix {
+pub fn im2col(input: &Tensor, n: usize, kh: usize, kw: usize, stride: usize, pad: usize) -> Matrix {
     let is = input.shape();
     assert!(n < is.n, "im2col: batch entry {n} out of range {is}");
     let (oh, ow) = conv_output_hw(is.h, is.w, kh, kw, stride, pad);
@@ -332,14 +344,11 @@ mod tests {
         let y = conv2d(&x, &k, None, 2, 1);
         let ks = k.shape();
         // kernel matrix: (C_in*Kh*Kw) x C_out, column co = flattened kernel co
-        let kmat = Matrix::from_fn(
-            Shape2::new(ks.c * ks.h * ks.w, ks.n),
-            |r, co| {
-                let ci = r / (ks.h * ks.w);
-                let rem = r % (ks.h * ks.w);
-                k.at(co, ci, rem / ks.w, rem % ks.w)
-            },
-        );
+        let kmat = Matrix::from_fn(Shape2::new(ks.c * ks.h * ks.w, ks.n), |r, co| {
+            let ci = r / (ks.h * ks.w);
+            let rem = r % (ks.h * ks.w);
+            k.at(co, ci, rem / ks.w, rem % ks.w)
+        });
         for n in 0..2 {
             let cols = im2col(&x, n, 3, 3, 2, 1);
             let prod = cols.matmul(&kmat); // (oh*ow) x C_out

@@ -114,7 +114,9 @@ pub fn conv_transpose2d_backward_weight(
 /// Swaps the first two axes of a 4-D tensor: `(A, B, H, W)` → `(B, A, H, W)`.
 fn swap_channel_axes(t: &Tensor) -> Tensor {
     let s = t.shape();
-    Tensor::from_fn(Shape4::new(s.c, s.n, s.h, s.w), |a, b, h, w| t.at(b, a, h, w))
+    Tensor::from_fn(Shape4::new(s.c, s.n, s.h, s.w), |a, b, h, w| {
+        t.at(b, a, h, w)
+    })
 }
 
 #[cfg(test)]

@@ -23,7 +23,11 @@ pub fn linear(input: &Matrix, weight: &Matrix, bias: Option<&[f32]>) -> Matrix {
         weight.cols()
     );
     if let Some(b) = bias {
-        assert_eq!(b.len(), weight.rows(), "linear: bias length vs out features");
+        assert_eq!(
+            b.len(),
+            weight.rows(),
+            "linear: bias length vs out features"
+        );
     }
     let out_shape = Shape2::new(input.rows(), weight.rows());
     Matrix::from_fn(out_shape, |n, o| {

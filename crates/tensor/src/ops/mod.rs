@@ -16,11 +16,13 @@ pub use conv::{
     conv2d, conv2d_backward_bias, conv2d_backward_input, conv2d_backward_weight, conv_output_hw,
     im2col,
 };
-pub use frac::{conv_transpose2d, conv_transpose2d_backward_input, conv_transpose2d_backward_weight, conv_transpose_output_hw};
-pub use linear::{
-    linear, linear_backward_bias, linear_backward_input, linear_backward_weight,
+pub use frac::{
+    conv_transpose2d, conv_transpose2d_backward_input, conv_transpose2d_backward_weight,
+    conv_transpose_output_hw,
 };
+pub use linear::{linear, linear_backward_bias, linear_backward_input, linear_backward_weight};
 pub use pad::{crop, dilate, rotate180, zero_pad};
 pub use pool::{
-    avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, pool_output_hw, MaxPoolIndices,
+    avg_pool2d, avg_pool2d_backward, max_pool2d, max_pool2d_backward, pool_output_hw,
+    MaxPoolIndices,
 };

@@ -119,10 +119,7 @@ mod tests {
         let t = Tensor::from_vec(Shape4::new(1, 1, 2, 2), vec![1.0, 2.0, 3.0, 4.0]);
         let d = dilate(&t, 2);
         assert_eq!(d.shape(), Shape4::new(1, 1, 3, 3));
-        assert_eq!(
-            d.data(),
-            &[1.0, 0.0, 2.0, 0.0, 0.0, 0.0, 3.0, 0.0, 4.0]
-        );
+        assert_eq!(d.data(), &[1.0, 0.0, 2.0, 0.0, 0.0, 0.0, 3.0, 0.0, 4.0]);
     }
 
     #[test]

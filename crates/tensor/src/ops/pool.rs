@@ -15,7 +15,10 @@ use crate::{Shape4, Tensor};
 /// Panics if `stride == 0` or the window does not fit.
 pub fn pool_output_hw(h: usize, w: usize, k: usize, stride: usize) -> (usize, usize) {
     assert!(stride > 0, "pool stride must be positive");
-    assert!(h >= k && w >= k, "pool window {k} larger than input {h}x{w}");
+    assert!(
+        h >= k && w >= k,
+        "pool window {k} larger than input {h}x{w}"
+    );
     ((h - k) / stride + 1, (w - k) / stride + 1)
 }
 
@@ -210,9 +213,7 @@ mod tests {
     #[test]
     fn avg_pool_gradient_conserved() {
         // Non-overlapping average pooling conserves total gradient mass.
-        let g = Tensor::from_fn(Shape4::new(2, 3, 2, 2), |n, c, h, w| {
-            (n + c + h + w) as f32
-        });
+        let g = Tensor::from_fn(Shape4::new(2, 3, 2, 2), |n, c, h, w| (n + c + h + w) as f32);
         let gin = avg_pool2d_backward(&g, Shape4::new(2, 3, 4, 4), 2, 2);
         assert!((gin.sum() - g.sum()).abs() < 1e-4);
     }

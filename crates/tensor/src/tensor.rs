@@ -238,7 +238,11 @@ impl Tensor {
     ///
     /// Panics if `n >= self.shape().n`.
     pub fn batch_entry(&self, n: usize) -> Self {
-        assert!(n < self.shape.n, "batch entry {n} out of range {}", self.shape);
+        assert!(
+            n < self.shape.n,
+            "batch entry {n} out of range {}",
+            self.shape
+        );
         let stride = self.shape.batch_stride();
         Self {
             shape: self.shape.with_batch(1),

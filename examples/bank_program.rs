@@ -73,7 +73,10 @@ fn main() {
         println!("input {i}: crossbar {:?}", round3(&outputs[i]));
         println!("         exact    {:?}", round3(&want));
     }
-    println!("memory-mode readback: {:?}", outputs.last().expect("readback"));
+    println!(
+        "memory-mode readback: {:?}",
+        outputs.last().expect("readback")
+    );
 
     let stats = bank.stats();
     println!(

@@ -36,7 +36,10 @@ fn main() {
         if it % 6 == 0 || it == iterations - 1 {
             println!(
                 "  iter {it:>3}: D(real) {:.2}, D(fake) {:.2}, losses D {:.3}/{:.3} G {:.3}",
-                stats.d_score_real, stats.d_score_fake, stats.d_loss_real, stats.d_loss_fake,
+                stats.d_score_real,
+                stats.d_score_fake,
+                stats.d_loss_real,
+                stats.d_loss_fake,
                 stats.g_loss
             );
         }
@@ -62,7 +65,9 @@ fn main() {
     let d = models::dcgan_discriminator_spec(3, 64);
     let accel = ReGanAccelerator::new(AcceleratorConfig::default(), ReganOpt::PipelineSpCs);
     let report = accel.train_cost(&g, &d, 64, 100);
-    let gpu = GpuModel::gtx1080().gan_training_cost(&g, &d, 64).times(100.0);
+    let gpu = GpuModel::gtx1080()
+        .gan_training_cost(&g, &d, 64)
+        .times(100.0);
     println!(
         "\nDCGAN/celebA (100 iterations, batch 64): ReGAN {:.2} ms vs GPU {:.2} s -> {:.0}x speedup, {:.1}x energy saving",
         report.time_s * 1e3,

@@ -48,13 +48,14 @@ fn train_accuracy(cfg: &CrossbarConfig) -> f32 {
         let mut r = init::seeded_rng(3);
         Network::new("study", Shape4::new(1, 1, 12, 12))
             .push(
-                Conv2d::new(1, 6, 3, 1, 1, &mut r)
-                    .with_engine(LinearEngine::crossbar(cfg.clone())),
+                Conv2d::new(1, 6, 3, 1, 1, &mut r).with_engine(LinearEngine::crossbar(cfg.clone())),
             )
             .push(ActivationLayer::relu())
             .push(Pool2d::max(2))
             .push(Flatten::new())
-            .push(Linear::new(6 * 6 * 6, 4, &mut r).with_engine(LinearEngine::crossbar(cfg.clone())))
+            .push(
+                Linear::new(6 * 6 * 6, 4, &mut r).with_engine(LinearEngine::crossbar(cfg.clone())),
+            )
     };
     for step in 0..40 {
         let labels: Vec<usize> = (0..8).map(|i| (step * 8 + i) % 4).collect();
@@ -67,7 +68,10 @@ fn train_accuracy(cfg: &CrossbarConfig) -> f32 {
 }
 
 fn main() {
-    println!("{:<28} {:>14} {:>12}", "configuration", "MVM rel err", "accuracy");
+    println!(
+        "{:<28} {:>14} {:>12}",
+        "configuration", "MVM rel err", "accuracy"
+    );
     println!("{}", "-".repeat(58));
 
     let ideal = CrossbarConfig::default();

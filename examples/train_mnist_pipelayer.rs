@@ -33,8 +33,7 @@ fn main() {
         .push(Pool2d::max(2))
         .push(Flatten::new())
         .push(
-            Linear::new(6 * 6 * 6, classes, &mut rng)
-                .with_engine(LinearEngine::crossbar(crossbar)),
+            Linear::new(6 * 6 * 6, classes, &mut rng).with_engine(LinearEngine::crossbar(crossbar)),
         );
 
     println!(
@@ -55,7 +54,10 @@ fn main() {
             println!("  step {step:>3}: loss {loss:.4}, batch accuracy {acc:.2}");
         }
     }
-    println!("final training-batch accuracy: {final_acc:.2} (chance = {:.2})", 1.0 / classes as f32);
+    println!(
+        "final training-batch accuracy: {final_acc:.2} (chance = {:.2})",
+        1.0 / classes as f32
+    );
 
     // Architectural cost of this exact training run.
     let spec = net.spec();

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Static checks for the first-party crates: formatting and lints.
+#
+# Offline-tolerant: runs with --offline against the in-repo vendor/ crates,
+# and each tool is skipped with a notice when its rustup component is not
+# installed (e.g. a minimal CI image), rather than failing the script.
+#
+# Vendored dependency stand-ins under vendor/ are workspace members but are
+# intentionally NOT checked here: they mirror upstream-crate idioms, not this
+# repository's style.
+set -u
+
+cd "$(dirname "$0")/.."
+
+FIRST_PARTY=(
+    reram-suite
+    reram-tensor
+    reram-telemetry
+    reram-crossbar
+    reram-nn
+    reram-datasets
+    reram-gpu
+    reram-core
+    reram-bench
+)
+
+status=0
+
+if cargo fmt --version >/dev/null 2>&1; then
+    echo "== cargo fmt --check =="
+    for pkg in "${FIRST_PARTY[@]}"; do
+        cargo fmt -p "$pkg" --check || status=1
+    done
+else
+    echo "== rustfmt not installed; skipping format check =="
+fi
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "== cargo clippy -D warnings =="
+    pkg_flags=()
+    for pkg in "${FIRST_PARTY[@]}"; do
+        pkg_flags+=(-p "$pkg")
+    done
+    cargo clippy --offline --all-targets "${pkg_flags[@]}" -- -D warnings || status=1
+else
+    echo "== clippy not installed; skipping lint check =="
+fi
+
+if [ "$status" -ne 0 ]; then
+    echo "checks FAILED"
+else
+    echo "checks passed"
+fi
+exit $status

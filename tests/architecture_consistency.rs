@@ -57,8 +57,8 @@ fn regan_cycles_equal_schedule_model() {
 #[test]
 fn timing_arrays_respect_budget_policy() {
     for budget in [32_768usize, 131_072] {
-        let cfg = AcceleratorConfig::default()
-            .with_replication(ReplicationPolicy::ArrayBudget(budget));
+        let cfg =
+            AcceleratorConfig::default().with_replication(ReplicationPolicy::ArrayBudget(budget));
         let t = NetworkTiming::analyze(&models::alexnet_spec(), &cfg);
         // AlexNet's unreplicated floor is well under 32K arrays.
         assert!(
@@ -109,11 +109,7 @@ fn larger_networks_never_cheaper_on_either_platform() {
     let big = models::vgg_a_spec();
     let accel = PipeLayerAccelerator::new(AcceleratorConfig::default());
     let gpu = GpuModel::gtx1080();
-    assert!(
-        accel.train_cost(&big, 32, 64).time_s > accel.train_cost(&small, 32, 64).time_s
-    );
+    assert!(accel.train_cost(&big, 32, 64).time_s > accel.train_cost(&small, 32, 64).time_s);
     assert!(gpu.training_cost(&big, 32).time_s > gpu.training_cost(&small, 32).time_s);
-    assert!(
-        accel.train_cost(&big, 32, 64).energy_j > accel.train_cost(&small, 32, 64).energy_j
-    );
+    assert!(accel.train_cost(&big, 32, 64).energy_j > accel.train_cost(&small, 32, 64).energy_j);
 }

@@ -54,7 +54,10 @@ fn crossbar_backed_training_learns_synthetic_mnist() {
     // The paper's whole point: the same training loop works with every
     // forward product computed by quantized, spike-coded ReRAM crossbars.
     let acc = train_and_eval(true);
-    assert!(acc >= 0.75, "crossbar accuracy {acc} below 0.75 (chance 0.25)");
+    assert!(
+        acc >= 0.75,
+        "crossbar accuracy {acc} below 0.75 (chance 0.25)"
+    );
 }
 
 #[test]
@@ -110,13 +113,19 @@ fn lenet_trains_on_full_mnist_shape() {
     let mut net = models::lenet(&mut rng);
     let labels: Vec<usize> = (0..4).map(|i| i % 2).collect();
     let x = ds.batch_for_labels(&labels, &mut rng);
-    let (first, _) = net.train_batch(&x, &labels, 0.05);
+    // lr 0.05 sits on LeNet's stability boundary for this tiny batch: whether
+    // the loss decreases depends on the exact initialization draw. 0.02
+    // converges with wide margin across seeds.
+    let (first, _) = net.train_batch(&x, &labels, 0.02);
     let mut last = first;
     for _ in 0..10 {
-        let (l, _) = net.train_batch(&x, &labels, 0.05);
+        let (l, _) = net.train_batch(&x, &labels, 0.02);
         last = l;
     }
-    assert!(last < first, "LeNet loss did not decrease: {first} -> {last}");
+    assert!(
+        last < first,
+        "LeNet loss did not decrease: {first} -> {last}"
+    );
 }
 
 #[test]

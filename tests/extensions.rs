@@ -51,7 +51,10 @@ fn trainer_with_momentum_dropout_and_lr_decay() {
     let labels: Vec<usize> = (0..16).map(|i| i % 4).collect();
     let eval = ds.batch_for_labels(&labels, &mut data_rng);
     let acc = trainer.evaluate(&mut net, &eval, &labels);
-    assert!(acc >= 0.75, "regularized training accuracy {acc} (chance 0.25)");
+    assert!(
+        acc >= 0.75,
+        "regularized training accuracy {acc} (chance 0.25)"
+    );
     // Loss trended downward.
     let h = trainer.history();
     assert!(h.final_loss() < h.losses[0]);

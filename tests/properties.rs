@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 use reram_suite::core::{PipelineModel, ReganOpt, ReganPipeline};
-use reram_suite::crossbar::quant::{
-    differential_split, slice_magnitude, unslice, Quantizer,
-};
+use reram_suite::crossbar::quant::{differential_split, slice_magnitude, unslice, Quantizer};
 use reram_suite::crossbar::{CrossbarConfig, TiledMatrix};
 use reram_suite::tensor::{ops, Matrix, Shape2, Shape4, Tensor};
 

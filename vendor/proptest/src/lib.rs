@@ -1,0 +1,226 @@
+//! Offline stand-in for `proptest` (see `Cargo.toml` description).
+//!
+//! A `proptest!` test expands to a plain `#[test]` that draws each argument
+//! from its strategy for `cases` deterministic seeds and runs the body.
+//! Failures report the seed and the drawn inputs; there is no shrinking.
+
+use rand::distributions::uniform::SampleUniform;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; this stand-in favours fast suites.
+        Self { cases: 64 }
+    }
+}
+
+/// A source of generated values for one test argument.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T: SampleUniform> Strategy for core::ops::Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> Strategy for core::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// Drives one property test: `cases` deterministic seeds derived from the
+/// test name, failing fast with the offending case index.
+pub fn run_proptest<F>(name: &str, config: &ProptestConfig, mut body: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), String>,
+{
+    for case in 0..config.cases {
+        let seed = case_seed(name, case);
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Err(message) = body(&mut rng) {
+            panic!("proptest `{name}` failed at case {case} (seed {seed:#x}): {message}");
+        }
+    }
+}
+
+/// FNV-1a over the test name, mixed with the case index, so every test gets
+/// an independent but reproducible stream.
+fn case_seed(name: &str, case: u32) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash ^ ((case as u64) << 32 | case as u64)
+}
+
+/// Defines property tests. Supports the upstream surface this workspace
+/// uses: an optional leading `#![proptest_config(expr)]` and test functions
+/// whose arguments are `name in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                $crate::run_proptest(stringify!($name), &config, |rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), rng);)*
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),*) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, reporting the failing
+/// expression (and optional formatted context) without aborting the process.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({})",
+                stringify!($cond),
+                format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?}; {})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    proptest! {
+        #[test]
+        fn range_strategy_respects_bounds(x in 3usize..17, y in -2.0f64..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn inclusive_range_strategy(v in 5u32..=5) {
+            prop_assert_eq!(v, 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn config_cases_honoured(x in 0u64..1000) {
+            prop_assert_ne!(x, 1000);
+        }
+    }
+
+    #[test]
+    fn seeds_are_deterministic_per_name_and_case() {
+        assert_eq!(case_seed("abc", 3), case_seed("abc", 3));
+        assert_ne!(case_seed("abc", 3), case_seed("abc", 4));
+        assert_ne!(case_seed("abc", 3), case_seed("abd", 3));
+    }
+}

@@ -1,0 +1,214 @@
+//! Distributions mirroring `rand::distributions`: `Standard`, `Uniform`,
+//! and the `SampleUniform`/`SampleRange` machinery behind `Rng::gen_range`.
+
+use crate::Rng;
+
+/// A distribution of values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: Rng>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution: unit-interval floats, full-range integers,
+/// fair bools.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng>(&self, rng: &mut R) -> f32 {
+        // 24 high-quality mantissa bits -> [0, 1).
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        // 53 mantissa bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng>(&self, rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty => $via:ident),* $(,)?) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: Rng>(&self, rng: &mut R) -> $t {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(
+    u8 => next_u32, u16 => next_u32, u32 => next_u32,
+    u64 => next_u64, usize => next_u64, u128 => next_u64,
+    i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64, i128 => next_u64,
+);
+
+/// Uniform-distribution machinery (`rand::distributions::uniform`).
+pub mod uniform {
+    use super::Rng;
+
+    /// Types that can be sampled uniformly from a range.
+    pub trait SampleUniform: Sized + Copy + PartialOrd {
+        /// Uniform draw from `[low, high)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `low >= high`.
+        fn sample_half_open<R: Rng>(low: Self, high: Self, rng: &mut R) -> Self;
+
+        /// Uniform draw from `[low, high]`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `low > high`.
+        fn sample_inclusive<R: Rng>(low: Self, high: Self, rng: &mut R) -> Self;
+    }
+
+    macro_rules! uniform_float {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: Rng>(low: Self, high: Self, rng: &mut R) -> Self {
+                    assert!(low < high, "gen_range: empty range {low}..{high}");
+                    let unit: $t = super::Distribution::<$t>::sample(&super::Standard, rng);
+                    // unit in [0,1): result stays strictly below `high` except
+                    // for pathological rounding at extreme magnitudes; clamp.
+                    let v = low + unit * (high - low);
+                    if v >= high { low } else { v }
+                }
+
+                fn sample_inclusive<R: Rng>(low: Self, high: Self, rng: &mut R) -> Self {
+                    assert!(low <= high, "gen_range: empty range {low}..={high}");
+                    let unit: $t = super::Distribution::<$t>::sample(&super::Standard, rng);
+                    low + unit * (high - low)
+                }
+            }
+        )*};
+    }
+
+    uniform_float!(f32, f64);
+
+    macro_rules! uniform_int {
+        ($($t:ty as $wide:ty),* $(,)?) => {$(
+            impl SampleUniform for $t {
+                #[allow(unused_comparisons)]
+                fn sample_half_open<R: Rng>(low: Self, high: Self, rng: &mut R) -> Self {
+                    assert!(low < high, "gen_range: empty range {low}..{high}");
+                    let span = (high as $wide).wrapping_sub(low as $wide) as u64;
+                    // Lemire-style unbiased bounded draw via 128-bit multiply.
+                    let mut m = (rng.next_u64() as u128) * (span as u128);
+                    let mut lo = m as u64;
+                    if lo < span {
+                        let threshold = span.wrapping_neg() % span;
+                        while lo < threshold {
+                            m = (rng.next_u64() as u128) * (span as u128);
+                            lo = m as u64;
+                        }
+                    }
+                    let offset = (m >> 64) as u64;
+                    ((low as $wide).wrapping_add(offset as $wide)) as $t
+                }
+
+                #[allow(unused_comparisons)]
+                fn sample_inclusive<R: Rng>(low: Self, high: Self, rng: &mut R) -> Self {
+                    assert!(low <= high, "gen_range: empty range {low}..={high}");
+                    if low == high {
+                        return low;
+                    }
+                    let span_minus_1 = (high as $wide).wrapping_sub(low as $wide) as u64;
+                    if span_minus_1 == u64::MAX {
+                        return (rng.next_u64() as $wide).wrapping_add(low as $wide) as $t;
+                    }
+                    let span = span_minus_1 + 1;
+                    let mut m = (rng.next_u64() as u128) * (span as u128);
+                    let mut lo = m as u64;
+                    if lo < span {
+                        let threshold = span.wrapping_neg() % span;
+                        while lo < threshold {
+                            m = (rng.next_u64() as u128) * (span as u128);
+                            lo = m as u64;
+                        }
+                    }
+                    let offset = (m >> 64) as u64;
+                    ((low as $wide).wrapping_add(offset as $wide)) as $t
+                }
+            }
+        )*};
+    }
+
+    uniform_int!(
+        u8 as u64, u16 as u64, u32 as u64, u64 as u64, usize as u64,
+        i8 as i64, i16 as i64, i32 as i64, i64 as i64, isize as i64,
+    );
+
+    /// Ranges usable with `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        /// Draws one uniform sample from the range.
+        fn sample_single<R: Rng>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+        fn sample_single<R: Rng>(self, rng: &mut R) -> T {
+            T::sample_half_open(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+        fn sample_single<R: Rng>(self, rng: &mut R) -> T {
+            T::sample_inclusive(*self.start(), *self.end(), rng)
+        }
+    }
+}
+
+/// A pre-built uniform distribution over a fixed range.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform<T: uniform::SampleUniform> {
+    low: T,
+    high: T,
+    inclusive: bool,
+}
+
+impl<T: uniform::SampleUniform> Uniform<T> {
+    /// Uniform over `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high` (checked at sample time).
+    pub fn new(low: T, high: T) -> Self {
+        Self {
+            low,
+            high,
+            inclusive: false,
+        }
+    }
+
+    /// Uniform over `[low, high]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low > high` (checked at sample time).
+    pub fn new_inclusive(low: T, high: T) -> Self {
+        Self {
+            low,
+            high,
+            inclusive: true,
+        }
+    }
+}
+
+impl<T: uniform::SampleUniform> Distribution<T> for Uniform<T> {
+    fn sample<R: Rng>(&self, rng: &mut R) -> T {
+        if self.inclusive {
+            T::sample_inclusive(self.low, self.high, rng)
+        } else {
+            T::sample_half_open(self.low, self.high, rng)
+        }
+    }
+}

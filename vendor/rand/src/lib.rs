@@ -1,0 +1,225 @@
+//! Offline stand-in for the `rand` crate (see `Cargo.toml` description).
+//!
+//! Implements the workspace's working set of the rand 0.8 API:
+//!
+//! * [`RngCore`], [`Rng`] (`gen`, `gen_range`, `gen_bool`, `sample`, `fill`)
+//! * [`SeedableRng`] (`seed_from_u64`, `from_seed`, `from_entropy`)
+//! * [`rngs::StdRng`], [`rngs::SmallRng`], [`thread_rng`]
+//! * [`distributions::Uniform`] / [`distributions::Distribution`] /
+//!   [`distributions::Standard`]
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — statistically
+//! strong for simulation workloads and fully deterministic per seed. Streams
+//! are *not* bit-compatible with upstream `StdRng` (ChaCha12); seed-derived
+//! test expectations must be statistical, not exact.
+
+pub mod distributions;
+pub mod rngs;
+mod xoshiro;
+
+pub use rngs::{SmallRng, StdRng};
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A random number generator seedable from a fixed state.
+pub trait SeedableRng: Sized {
+    /// Seed type (byte array for compatibility with rand 0.8).
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64` seed (SplitMix64 expansion).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = xoshiro::SplitMix64::new(state);
+        for b in seed.as_mut().chunks_mut(8) {
+            let v = sm.next().to_le_bytes();
+            let n = b.len();
+            b.copy_from_slice(&v[..n]);
+        }
+        Self::from_seed(seed)
+    }
+
+    /// Creates a generator from OS entropy — here, from the system clock
+    /// (the workspace only uses seeded generators on reproducible paths).
+    fn from_entropy() -> Self {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9E37_79B9_7F4A_7C15);
+        Self::seed_from_u64(nanos)
+    }
+}
+
+/// High-level convenience methods over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from its standard distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Samples uniformly from a range (`low..high` or `low..=high`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} outside [0, 1]");
+        let v: f64 = self.gen();
+        v < p
+    }
+
+    /// Samples from an explicit distribution.
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, distr: D) -> T
+    where
+        Self: Sized,
+    {
+        distr.sample(self)
+    }
+
+    /// Fills a slice with standard-distribution values.
+    fn fill<T>(&mut self, dest: &mut [T])
+    where
+        distributions::Standard: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        for v in dest.iter_mut() {
+            *v = self.gen();
+        }
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// A fresh clock-seeded generator (upstream's thread-local equivalent).
+pub fn thread_rng() -> rngs::StdRng {
+    rngs::StdRng::from_entropy()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f32 = rng.gen();
+            let y: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            assert!((0.0..1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let i = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&i));
+            let f = rng.gen_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let g = rng.gen_range(f64::EPSILON..1.0);
+            assert!(g >= f64::EPSILON && g < 1.0);
+        }
+    }
+
+    #[test]
+    fn uniform_distribution_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = Uniform::new(-1.0f32, 1.0);
+        let di = Uniform::new_inclusive(-3.0f64, 3.0);
+        for _ in 0..1000 {
+            let x = d.sample(&mut rng);
+            assert!((-1.0..1.0).contains(&x));
+            let y = di.sample(&mut rng);
+            assert!((-3.0..=3.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn mean_is_statistically_centered() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen::<f64>()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "hits {hits}");
+    }
+}

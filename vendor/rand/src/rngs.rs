@@ -1,0 +1,51 @@
+//! Named generator types mirroring `rand::rngs`.
+
+use crate::xoshiro::Xoshiro256PlusPlus;
+use crate::{RngCore, SeedableRng};
+
+/// The workspace's standard seeded generator (xoshiro256++ here; upstream
+/// uses ChaCha12 — streams differ, determinism per seed is preserved).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng(Xoshiro256PlusPlus);
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.0.next_u64() >> 32) as u32
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        Self(Xoshiro256PlusPlus::from_seed_bytes(seed))
+    }
+}
+
+/// A small fast generator — identical to [`StdRng`] in this stand-in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng(Xoshiro256PlusPlus);
+
+impl RngCore for SmallRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.0.next_u64() >> 32) as u32
+    }
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        Self(Xoshiro256PlusPlus::from_seed_bytes(seed))
+    }
+}

@@ -1,0 +1,255 @@
+//! `Serialize`/`Deserialize` implementations for std types.
+
+use crate::{Deserialize, Error, Serialize, Value};
+
+macro_rules! signed_int_impl {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let raw = value.as_i64().ok_or_else(|| {
+                    Error::new(format!(
+                        "expected {}, found {}", stringify!($t), value.kind()
+                    ))
+                })?;
+                <$t>::try_from(raw).map_err(|_| {
+                    Error::new(format!("{raw} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+signed_int_impl!(i8, i16, i32, i64, isize);
+
+macro_rules! unsigned_int_impl {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let raw = value.as_u64().ok_or_else(|| {
+                    Error::new(format!(
+                        "expected {}, found {}", stringify!($t), value.kind()
+                    ))
+                })?;
+                <$t>::try_from(raw).map_err(|_| {
+                    Error::new(format!("{raw} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+unsigned_int_impl!(u8, u16, u32, u64, usize);
+
+macro_rules! float_impl {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                value.as_f64().map(|v| v as $t).ok_or_else(|| {
+                    Error::new(format!(
+                        "expected {}, found {}", stringify!($t), value.kind()
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+float_impl!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::new(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::new(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::new(format!("expected char, found {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_seq("Vec")?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items = value.as_seq("array")?;
+        if items.len() != N {
+            return Err(Error::new(format!(
+                "expected array of length {N}, found {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::deserialize).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| Error::new("array length mismatch"))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Value {
+        Value::Seq(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items = value.as_seq("tuple")?;
+        if items.len() != 2 {
+            return Err(Error::new(format!(
+                "expected 2-tuple, found sequence of {}",
+                items.len()
+            )));
+        }
+        Ok((A::deserialize(&items[0])?, B::deserialize(&items[1])?))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self) -> Value {
+        Value::Seq(vec![
+            self.0.serialize(),
+            self.1.serialize(),
+            self.2.serialize(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items = value.as_seq("tuple")?;
+        if items.len() != 3 {
+            return Err(Error::new(format!(
+                "expected 3-tuple, found sequence of {}",
+                items.len()
+            )));
+        }
+        Ok((
+            A::deserialize(&items[0])?,
+            B::deserialize(&items[1])?,
+            C::deserialize(&items[2])?,
+        ))
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}

@@ -1,0 +1,33 @@
+//! Offline stand-in for `serde` (see `Cargo.toml` description).
+//!
+//! The data model is a self-describing [`Value`] tree; [`Serialize`] maps a
+//! type into it and [`Deserialize`] maps it back. `serde::json` renders and
+//! parses `Value` as JSON, giving the workspace a complete
+//! serialize → JSON → parse → deserialize round trip with no external
+//! dependencies. `#[derive(Serialize, Deserialize)]` comes from the sibling
+//! `serde_derive` stand-in (enabled by the `derive` feature, matching the
+//! upstream feature name).
+
+mod error;
+mod impls;
+pub mod json;
+mod value;
+
+pub use error::Error;
+pub use value::Value;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Maps a type into the [`Value`] data model.
+pub trait Serialize {
+    /// Serializes `self` into a [`Value`].
+    fn serialize(&self) -> Value;
+}
+
+/// Reconstructs a type from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Deserializes from a [`Value`], reporting shape mismatches as
+    /// [`Error`]s.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}

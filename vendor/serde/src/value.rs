@@ -1,0 +1,100 @@
+//! The self-describing data model all (de)serialization flows through.
+
+use crate::Error;
+
+/// A serialized value: the intermediate representation between Rust types
+/// and concrete formats (JSON via [`crate::json`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null` / `None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer (all `iN` types widen to this).
+    Int(i64),
+    /// Unsigned integer (all `uN` types widen to this).
+    UInt(u64),
+    /// Floating point (both `f32` and `f64`).
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence (`Vec`, arrays, tuples).
+    Seq(Vec<Value>),
+    /// Ordered key/value map (structs, struct enum variants, maps).
+    /// Insertion order is preserved so JSON output is deterministic.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Views this value as a map, or errors with `expected`.
+    pub fn as_map(&self, expected: &str) -> Result<&[(String, Value)], Error> {
+        match self {
+            Value::Map(entries) => Ok(entries),
+            other => Err(Error::new(format!(
+                "expected map for {expected}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Views this value as a sequence, or errors with `expected`.
+    pub fn as_seq(&self, expected: &str) -> Result<&[Value], Error> {
+        match self {
+            Value::Seq(items) => Ok(items),
+            other => Err(Error::new(format!(
+                "expected sequence for {expected}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Looks up a field in a map value.
+    pub fn field(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Signed-integer view, accepting any in-range numeric representation.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(v) => Some(v),
+            Value::UInt(v) => i64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Unsigned-integer view, accepting any in-range numeric representation.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(v) => Some(v),
+            Value::Int(v) => u64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Float view; integers widen losslessly enough for this workspace.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Float(v) => Some(v),
+            Value::Int(v) => Some(v as f64),
+            Value::UInt(v) => Some(v as f64),
+            _ => None,
+        }
+    }
+
+    /// Short description of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "integer",
+            Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}

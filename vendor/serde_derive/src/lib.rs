@@ -1,0 +1,425 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! simplified Value-based serde stand-in in `vendor/serde`. The registry-free
+//! build cannot fetch `syn`/`quote`, so parsing is done directly over
+//! `proc_macro::TokenStream`: enough to handle the shapes this workspace
+//! uses — non-generic structs (named, tuple, unit) and enums with unit,
+//! tuple, and struct variants, externally tagged like upstream serde.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_serialize(&shape).parse().expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_deserialize(&shape).parse().expect("generated Deserialize impl must parse")
+}
+
+enum Shape {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i, "`struct` or `enum`");
+    let name = expect_ident(&tokens, &mut i, "type name");
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive does not support generic types ({name})");
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    name,
+                    arity: split_top_level(g.stream()).len(),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
+            other => panic!("unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: split_top_level(g.stream())
+                    .into_iter()
+                    .map(parse_variant)
+                    .collect(),
+            },
+            other => panic!("unsupported enum body for {name}: {other:?}"),
+        },
+        other => panic!("serde stand-in derive supports struct/enum only, found `{other}`"),
+    }
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        // pub(crate) / pub(super) carry a parenthesized scope.
+        if matches!(
+            tokens.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize, what: &str) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected {what}, found {other:?}"),
+    }
+}
+
+/// Splits a token stream at commas that sit outside any `<...>` nesting.
+/// Bracket/brace/paren nesting is already atomic (`TokenTree::Group`), so
+/// only generic angle brackets need explicit depth tracking.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tree in stream {
+        if let TokenTree::Punct(p) = &tree {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tree);
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Extracts field names from the body of a braced struct or struct variant.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .into_iter()
+        .map(|chunk| {
+            let mut i = 0;
+            skip_attributes(&chunk, &mut i);
+            skip_visibility(&chunk, &mut i);
+            expect_ident(&chunk, &mut i, "field name")
+        })
+        .collect()
+}
+
+fn parse_variant(chunk: Vec<TokenTree>) -> Variant {
+    let mut i = 0;
+    skip_attributes(&chunk, &mut i);
+    let name = expect_ident(&chunk, &mut i, "variant name");
+    let kind = match chunk.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            VariantKind::Tuple(split_top_level(g.stream()).len())
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            VariantKind::Struct(parse_named_fields(g.stream()))
+        }
+        // Unit variant, possibly with `= discriminant` (ignored).
+        _ => VariantKind::Unit,
+    };
+    Variant { name, kind }
+}
+
+fn gen_serialize(shape: &Shape) -> String {
+    let mut out = String::new();
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut body = String::new();
+            for field in fields {
+                let _ = write!(
+                    body,
+                    "({field:?}.to_string(), ::serde::Serialize::serialize(&self.{field})),"
+                );
+            }
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(vec![{body}])\n\
+                     }}\n\
+                 }}"
+            );
+        }
+        Shape::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                // Newtype structs serialize transparently, like upstream.
+                "::serde::Serialize::serialize(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Seq(vec![{}])", items.join(","))
+            };
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            );
+        }
+        Shape::UnitStruct { name } => {
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+                 }}"
+            );
+        }
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),"
+                        );
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname}(f0) => ::serde::Value::Map(vec![\
+                                ({vname:?}.to_string(), ::serde::Serialize::serialize(f0))]),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname}({}) => ::serde::Value::Map(vec![\
+                                ({vname:?}.to_string(), ::serde::Value::Seq(vec![{}]))]),",
+                            binds.join(","),
+                            items.join(",")
+                        );
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds = fields.join(",");
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("({f:?}.to_string(), ::serde::Serialize::serialize({f}))")
+                            })
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "{name}::{vname} {{ {binds} }} => ::serde::Value::Map(vec![\
+                                ({vname:?}.to_string(), ::serde::Value::Map(vec![{}]))]),",
+                            items.join(",")
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            );
+        }
+    }
+    out
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    let mut out = String::new();
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut body = String::new();
+            for field in fields {
+                let _ = write!(
+                    body,
+                    "{field}: match value.field({field:?}) {{\n\
+                         Some(v) => ::serde::Deserialize::deserialize(v)\n\
+                             .map_err(|e| e.context(concat!({name:?}, \".\", {field:?})))?,\n\
+                         None => return Err(::serde::Error::new(\n\
+                             concat!(\"missing field `\", {field:?}, \"` in \", {name:?}))),\n\
+                     }},"
+                );
+            }
+            let _ = write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         let _ = value.as_map({name:?})?;\n\
+                         Ok(Self {{ {body} }})\n\
+                     }}\n\
+                 }}"
+            );
+        }
+        Shape::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "Ok(Self(::serde::Deserialize::deserialize(value)?))".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                    .collect();
+                format!(
+                    "let items = value.as_seq({name:?})?;\n\
+                     if items.len() != {arity} {{\n\
+                         return Err(::serde::Error::new(format!(\n\
+                             \"expected {arity} elements for {name}, found {{}}\", items.len())));\n\
+                     }}\n\
+                     Ok(Self({}))",
+                    items.join(",")
+                )
+            };
+            let _ = write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            );
+        }
+        Shape::UnitStruct { name } => {
+            let _ = write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(_value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         Ok(Self)\n\
+                     }}\n\
+                 }}"
+            );
+        }
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = write!(unit_arms, "{vname:?} => return Ok({name}::{vname}),");
+                    }
+                    VariantKind::Tuple(1) => {
+                        let _ = write!(
+                            tagged_arms,
+                            "{vname:?} => Ok({name}::{vname}(\
+                                ::serde::Deserialize::deserialize(inner)?)),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                            .collect();
+                        let _ = write!(
+                            tagged_arms,
+                            "{vname:?} => {{\n\
+                                 let items = inner.as_seq(concat!({name:?}, \"::\", {vname:?}))?;\n\
+                                 if items.len() != {n} {{\n\
+                                     return Err(::serde::Error::new(format!(\n\
+                                         \"expected {n} elements for {name}::{vname}, found {{}}\",\n\
+                                         items.len())));\n\
+                                 }}\n\
+                                 Ok({name}::{vname}({}))\n\
+                             }},",
+                            items.join(",")
+                        );
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut body = String::new();
+                        for field in fields {
+                            let _ = write!(
+                                body,
+                                "{field}: match inner.field({field:?}) {{\n\
+                                     Some(v) => ::serde::Deserialize::deserialize(v)?,\n\
+                                     None => return Err(::serde::Error::new(\n\
+                                         concat!(\"missing field `\", {field:?}, \"` in \",\n\
+                                                 {name:?}, \"::\", {vname:?}))),\n\
+                                 }},"
+                            );
+                        }
+                        let _ = write!(
+                            tagged_arms,
+                            "{vname:?} => Ok({name}::{vname} {{ {body} }}),"
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                out,
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(value: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         if let ::serde::Value::Str(tag) = value {{\n\
+                             match tag.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => return Err(::serde::Error::new(format!(\n\
+                                     \"unknown variant `{{other}}` of {name}\"))),\n\
+                             }}\n\
+                         }}\n\
+                         let entries = value.as_map({name:?})?;\n\
+                         if entries.len() != 1 {{\n\
+                             return Err(::serde::Error::new(concat!(\n\
+                                 \"expected single-entry variant map for \", {name:?})));\n\
+                         }}\n\
+                         let (tag, inner) = &entries[0];\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             other => Err(::serde::Error::new(format!(\n\
+                                 \"unknown variant `{{other}}` of {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            );
+        }
+    }
+    out
+}
