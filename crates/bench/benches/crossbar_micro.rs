@@ -21,7 +21,7 @@ fn pattern_matrix(rows: usize, cols: usize) -> Matrix {
 fn bench_spike_encode(c: &mut Criterion) {
     let codes: Vec<u64> = (0..128).map(|i| (i * 37) % 65536).collect();
     c.bench_function("spike_encode_128x16b", |b| {
-        b.iter(|| black_box(SpikeTrain::encode(&codes, 16)))
+        b.iter(|| black_box(SpikeTrain::encode(&codes, 16)));
     });
 }
 
@@ -32,7 +32,7 @@ fn bench_array_mvm(c: &mut Criterion) {
     array.program(&levels);
     let codes: Vec<u64> = (0..cfg.rows as u64).map(|i| (i * 97) % 65536).collect();
     c.bench_function("array_mvm_128x128_16b", |b| {
-        b.iter(|| black_box(array.mvm_codes(&codes, 16)))
+        b.iter(|| black_box(array.mvm_codes(&codes, 16)));
     });
 }
 
@@ -40,7 +40,7 @@ fn bench_tiled_program(c: &mut Criterion) {
     let w = pattern_matrix(256, 256);
     let cfg = CrossbarConfig::default();
     c.bench_function("tiled_program_256x256", |b| {
-        b.iter(|| black_box(TiledMatrix::program(&w, &cfg)))
+        b.iter(|| black_box(TiledMatrix::program(&w, &cfg)));
     });
 }
 
@@ -58,11 +58,11 @@ fn bench_reprogram_full_vs_delta(c: &mut Criterion) {
         let mut t = TiledMatrix::program(&w1, &cfg);
         b.iter(|| {
             t.reprogram(black_box(&w2));
-        })
+        });
     });
     g.bench_function(BenchmarkId::new("reprogram", "delta"), |b| {
         let mut t = TiledMatrix::program(&w1, &cfg);
-        b.iter(|| black_box(t.reprogram_delta(black_box(&w2))))
+        b.iter(|| black_box(t.reprogram_delta(black_box(&w2))));
     });
     g.finish();
 }
@@ -77,7 +77,7 @@ fn bench_quantizer(c: &mut Criterion) {
                 acc += q.quantize(black_box(v));
             }
             black_box(acc)
-        })
+        });
     });
     c.bench_function("bit_slice_4096", |b| {
         b.iter(|| {
@@ -86,7 +86,7 @@ fn bench_quantizer(c: &mut Criterion) {
                 acc += slice_magnitude(black_box(i * 13 % 65536), 4, 4)[3];
             }
             black_box(acc)
-        })
+        });
     });
 }
 
@@ -98,7 +98,7 @@ fn bench_grid_matvec(c: &mut Criterion) {
         let x: Vec<f32> = (0..n).map(|i| ((i % 13) as f32 - 6.0) / 6.0).collect();
         g.bench_with_input(BenchmarkId::new("square", n), &n, |b, _| {
             let mut t = TiledMatrix::program(&w, &CrossbarConfig::default());
-            b.iter(|| black_box(t.matvec(&x)))
+            b.iter(|| black_box(t.matvec(&x)));
         });
     }
     g.finish();

@@ -10,7 +10,7 @@ fn bench_mapping(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig4_mapping");
     for x in [1usize, 256, 12544] {
         g.bench_with_input(BenchmarkId::new("balanced", x), &x, |b, &x| {
-            b.iter(|| black_box(fig4::measure(x)))
+            b.iter(|| black_box(fig4::measure(x)));
         });
     }
     g.finish();
@@ -32,14 +32,14 @@ fn bench_pipeline(c: &mut Criterion) {
 /// E3 (Fig. 7): fractional-strided convolution functional check.
 fn bench_fcnn(c: &mut Criterion) {
     c.bench_function("fig7_fcnn_check", |b| {
-        b.iter(|| black_box(fig7::functional_check(256, 128, 8, 64)))
+        b.iter(|| black_box(fig7::functional_check(256, 128, 8, 64)));
     });
 }
 
 /// E4 (Fig. 8): ReGAN schedule simulation.
 fn bench_regan_pipeline(c: &mut Criterion) {
     c.bench_function("fig8_regan_cycles", |b| {
-        b.iter(|| black_box(fig8::measure(5, 5, 64)))
+        b.iter(|| black_box(fig8::measure(5, 5, 64)));
     });
 }
 
@@ -99,7 +99,7 @@ fn bench_tile_mvm(c: &mut Criterion) {
 /// Ablation: spike precision error evaluation.
 fn bench_ablation_precision(c: &mut Criterion) {
     c.bench_function("ablation_spike_precision", |b| {
-        b.iter(|| black_box(ablations::spike_precision_error(8)))
+        b.iter(|| black_box(ablations::spike_precision_error(8)));
     });
 }
 

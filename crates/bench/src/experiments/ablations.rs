@@ -149,7 +149,7 @@ pub fn endurance() -> Table {
 }
 
 /// Readout-scheme ablation: spike I&F vs. shared SAR ADCs per array —
-/// the §III-A.3 claim that spike coding "further reduce[s] the area and
+/// the §III-A.3 claim that spike coding "further reduce\[s\] the area and
 /// energy overhead" of conventional readout.
 pub fn readout_schemes() -> Table {
     use reram_crossbar::{ReadoutKind, ReadoutModel};

@@ -65,6 +65,7 @@ impl PipeLayerAccelerator {
     pub fn new(config: AcceleratorConfig) -> Self {
         config
             .validate()
+            // lint:allow(panic) documented constructor contract — invalid configs abort
             .unwrap_or_else(|e| panic!("invalid accelerator config: {e}"));
         Self { config }
     }
@@ -159,6 +160,7 @@ impl ReGanAccelerator {
     pub fn new(config: AcceleratorConfig, opt: ReganOpt) -> Self {
         config
             .validate()
+            // lint:allow(panic) documented constructor contract — invalid configs abort
             .unwrap_or_else(|e| panic!("invalid accelerator config: {e}"));
         Self { config, opt }
     }

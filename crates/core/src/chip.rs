@@ -80,7 +80,9 @@ impl ChipPlan {
             bank.morphable_per_bank > 0 && bank.memory_per_bank > 0,
             "bank must contain subarrays"
         );
-        let mappings = map_network(net, config);
+        let mappings = map_network(net, config)
+            // lint:allow(panic) documented contract — degenerate policy aborts planning
+            .unwrap_or_else(|e| panic!("cannot map {}: {e}", net.name));
         let timing = NetworkTiming::analyze(net, config);
         let compute_arrays: usize = mappings.iter().map(|m| m.arrays).sum();
         let banks = compute_arrays.div_ceil(bank.morphable_per_bank);

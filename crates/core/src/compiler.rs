@@ -147,6 +147,7 @@ impl CompiledMlp {
         }
         let prog = self.inference_program(input);
         let mut out = self.bank.run(prog);
+        // lint:allow(panic) program built by this compiler always ends with ReadMem
         out.pop().expect("inference program ends with a read")
     }
 
@@ -280,6 +281,7 @@ impl TrainableMlp {
         }
         self.bank
             .execute(Instruction::ReadMem { mem: self.depth() })
+            // lint:allow(panic) ReadMem of a slot this compiler wrote always yields data
             .expect("read returns data")
     }
 
@@ -324,6 +326,7 @@ impl TrainableMlp {
             let out_act = self
                 .bank
                 .execute(Instruction::ReadMem { mem: i + 1 })
+                // lint:allow(panic) forward pass buffered this slot earlier in the step
                 .expect("activation buffered");
             if self.relu[i] {
                 for (e, &a) in error.iter_mut().zip(&out_act) {
@@ -335,6 +338,7 @@ impl TrainableMlp {
             let in_act = self
                 .bank
                 .execute(Instruction::ReadMem { mem: i })
+                // lint:allow(panic) forward pass buffered this slot earlier in the step
                 .expect("activation buffered");
             // Weight gradient: e ⊗ x (control-unit outer-product logic).
             let w = &self.weights[i];
@@ -359,6 +363,7 @@ impl TrainableMlp {
                 error = self
                     .bank
                     .execute(Instruction::ReadMem { mem: err_b })
+                    // lint:allow(panic) error slot written by the preceding backward stage
                     .expect("propagated error");
             }
         }

@@ -62,7 +62,7 @@ pub use chip::{BankShape, ChipPlan};
 pub use compiler::{CompiledMlp, FcStage, TrainableMlp};
 pub use config::AcceleratorConfig;
 pub use endurance::{EnduranceClass, EnduranceReport};
-pub use mapping::{LayerMapping, MappingScheme, ReplicationPolicy};
+pub use mapping::{LayerMapping, MappingError, MappingScheme, ReplicationPolicy};
 pub use pipeline::{PipelineModel, PipelineTrace};
 pub use regan::{ReganOpt, ReganPipeline};
 pub use report::{build_run_report, layer_adc_conversions, layer_cell_writes, layer_reports};

@@ -11,9 +11,47 @@
 //! `X = 12544` produces the whole layer in one step at excessive hardware
 //! cost — "a good trade-off … requires a carefully chosen X".
 
+use std::fmt;
+
 use crate::AcceleratorConfig;
 use reram_nn::{LayerSpec, NetworkSpec};
 use serde::{Deserialize, Serialize};
+
+/// Why a layer or network cannot be mapped under a replication policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MappingError {
+    /// [`ReplicationPolicy::Fixed`] with `X = 0`: replication must be
+    /// positive.
+    ZeroReplication,
+    /// [`ReplicationPolicy::MaxStepsPerLayer`] with a zero step bound.
+    ZeroStepsBound,
+    /// [`ReplicationPolicy::ArrayBudget`] with a zero array budget.
+    ZeroArrayBudget,
+    /// [`ReplicationPolicy::ArrayBudget`] chooses per-layer factors
+    /// jointly, so it cannot resolve a single layer in isolation — map the
+    /// whole network with [`map_network`] instead.
+    NeedsNetworkContext,
+}
+
+impl fmt::Display for MappingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MappingError::ZeroReplication => {
+                write!(f, "fixed replication factor must be positive")
+            }
+            MappingError::ZeroStepsBound => {
+                write!(f, "per-layer step bound must be positive")
+            }
+            MappingError::ZeroArrayBudget => write!(f, "array budget must be positive"),
+            MappingError::NeedsNetworkContext => write!(
+                f,
+                "ArrayBudget needs whole-network context; use map_network"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MappingError {}
 
 /// Which mapping scheme of Fig. 4 to model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -56,25 +94,19 @@ impl Default for ReplicationPolicy {
 impl ReplicationPolicy {
     /// Replication factor for a layer needing `mvms` MVMs per input.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the policy parameter is zero, or for
+    /// Returns a [`MappingError`] if the policy parameter is zero, or for
     /// [`ReplicationPolicy::ArrayBudget`], which needs whole-network
     /// context — use [`map_network`] instead.
-    pub fn replication_for(&self, mvms: usize) -> usize {
+    pub fn replication_for(&self, mvms: usize) -> Result<usize, MappingError> {
         match *self {
-            ReplicationPolicy::None => 1,
-            ReplicationPolicy::Fixed(x) => {
-                assert!(x > 0, "fixed replication must be positive");
-                x
-            }
-            ReplicationPolicy::MaxStepsPerLayer(steps) => {
-                assert!(steps > 0, "steps bound must be positive");
-                mvms.div_ceil(steps).max(1)
-            }
-            ReplicationPolicy::ArrayBudget(_) => {
-                panic!("ArrayBudget needs whole-network context; use map_network")
-            }
+            ReplicationPolicy::None => Ok(1),
+            ReplicationPolicy::Fixed(0) => Err(MappingError::ZeroReplication),
+            ReplicationPolicy::Fixed(x) => Ok(x),
+            ReplicationPolicy::MaxStepsPerLayer(0) => Err(MappingError::ZeroStepsBound),
+            ReplicationPolicy::MaxStepsPerLayer(steps) => Ok(mvms.div_ceil(steps).max(1)),
+            ReplicationPolicy::ArrayBudget(_) => Err(MappingError::NeedsNetworkContext),
         }
     }
 }
@@ -110,7 +142,9 @@ impl LayerMapping {
     pub fn map(layer: &LayerSpec, config: &AcceleratorConfig, scheme: MappingScheme) -> Self {
         let (in_dim, out_dim) = layer
             .crossbar_matrix()
+            // lint:allow(panic) documented caller contract — weighted layers only
             .expect("only weighted layers map to crossbars");
+        // lint:allow(panic) documented caller contract — weighted layers only
         let mvms = layer.mvm_count().expect("weighted layers have MVM counts");
 
         let (row_tiles, col_tiles, replication) = match scheme {
@@ -145,15 +179,27 @@ impl LayerMapping {
 
     /// Maps a layer using the configuration's replication policy.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `layer` is not weighted, or if the policy is
+    /// Returns a [`MappingError`] if the policy is degenerate or is
     /// [`ReplicationPolicy::ArrayBudget`] (whole-network context required —
     /// use [`map_network`]).
-    pub fn map_with_policy(layer: &LayerSpec, config: &AcceleratorConfig) -> Self {
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is not weighted.
+    pub fn map_with_policy(
+        layer: &LayerSpec,
+        config: &AcceleratorConfig,
+    ) -> Result<Self, MappingError> {
+        // lint:allow(panic) caller contract — only weighted layers map to crossbars
         let mvms = layer.mvm_count().expect("weighted layers have MVM counts");
-        let x = config.replication.replication_for(mvms);
-        Self::map(layer, config, MappingScheme::Balanced { replication: x })
+        let x = config.replication.replication_for(mvms)?;
+        Ok(Self::map(
+            layer,
+            config,
+            MappingScheme::Balanced { replication: x },
+        ))
     }
 
     /// Physical arrays of one (unreplicated) copy of this layer's grid.
@@ -184,10 +230,18 @@ impl LayerMapping {
 /// budget, the network maps unreplicated (the budget is a provisioning
 /// target, not a hard wall — matching the paper's "hardware cost is
 /// excessive" framing).
-pub fn map_network(net: &NetworkSpec, config: &AcceleratorConfig) -> Vec<LayerMapping> {
+///
+/// # Errors
+///
+/// Returns a [`MappingError`] if the configured policy has a zero
+/// parameter (replication factor, step bound, or array budget).
+pub fn map_network(
+    net: &NetworkSpec,
+    config: &AcceleratorConfig,
+) -> Result<Vec<LayerMapping>, MappingError> {
     match config.replication {
+        ReplicationPolicy::ArrayBudget(0) => Err(MappingError::ZeroArrayBudget),
         ReplicationPolicy::ArrayBudget(budget) => {
-            assert!(budget > 0, "array budget must be positive");
             let bases: Vec<LayerMapping> = net
                 .weighted_layers()
                 .map(|l| LayerMapping::map(l, config, MappingScheme::Balanced { replication: 1 }))
@@ -214,13 +268,15 @@ pub fn map_network(net: &NetworkSpec, config: &AcceleratorConfig) -> Vec<LayerMa
                 }
                 lo
             };
-            net.weighted_layers()
+            Ok(net
+                .weighted_layers()
                 .map(|l| {
+                    // lint:allow(panic) weighted_layers() yields weighted layers only
                     let mvms = l.mvm_count().expect("weighted layer");
                     let x = mvms.div_ceil(t).max(1);
                     LayerMapping::map(l, config, MappingScheme::Balanced { replication: x })
                 })
-                .collect()
+                .collect())
         }
         _ => net
             .weighted_layers()
@@ -357,11 +413,12 @@ mod tests {
     #[test]
     fn policy_bounds_steps() {
         let policy = ReplicationPolicy::MaxStepsPerLayer(64);
-        assert_eq!(policy.replication_for(12544), 196);
-        assert_eq!(policy.replication_for(64), 1);
-        assert_eq!(policy.replication_for(1), 1);
+        assert_eq!(policy.replication_for(12544), Ok(196));
+        assert_eq!(policy.replication_for(64), Ok(1));
+        assert_eq!(policy.replication_for(1), Ok(1));
         let m =
-            LayerMapping::map_with_policy(&fig4_layer(), &fig4_config().with_replication(policy));
+            LayerMapping::map_with_policy(&fig4_layer(), &fig4_config().with_replication(policy))
+                .unwrap();
         assert!(m.steps_per_input <= 64);
     }
 
@@ -371,8 +428,8 @@ mod tests {
         for budget in [4096usize, 65536, 262_144] {
             let cfg = AcceleratorConfig::default()
                 .with_replication(ReplicationPolicy::ArrayBudget(budget));
-            let maps = map_network(&net, &cfg);
-            let base: usize = maps.iter().map(|m| m.base_arrays()).sum();
+            let maps = map_network(&net, &cfg).unwrap();
+            let base: usize = maps.iter().map(super::LayerMapping::base_arrays).sum();
             let total: usize = maps.iter().map(|m| m.arrays).sum();
             if base <= budget {
                 assert!(total <= budget, "budget {budget} exceeded: {total}");
@@ -390,6 +447,7 @@ mod tests {
             let cfg = AcceleratorConfig::default()
                 .with_replication(ReplicationPolicy::ArrayBudget(budget));
             map_network(&net, &cfg)
+                .unwrap()
                 .iter()
                 .map(|m| m.steps_per_input)
                 .max()
@@ -404,14 +462,33 @@ mod tests {
         // LeNet's whole grid is tiny: a 128K-array budget replicates every
         // layer down to a single step per input.
         let net = reram_nn::models::lenet_spec();
-        let maps = map_network(&net, &AcceleratorConfig::default());
+        let maps = map_network(&net, &AcceleratorConfig::default()).unwrap();
         assert!(maps.iter().all(|m| m.steps_per_input == 1));
     }
 
     #[test]
-    #[should_panic(expected = "whole-network context")]
     fn array_budget_rejects_per_layer_use() {
-        let _ = ReplicationPolicy::ArrayBudget(1024).replication_for(100);
+        assert_eq!(
+            ReplicationPolicy::ArrayBudget(1024).replication_for(100),
+            Err(MappingError::NeedsNetworkContext)
+        );
+    }
+
+    #[test]
+    fn degenerate_policies_are_typed_errors() {
+        assert_eq!(
+            ReplicationPolicy::Fixed(0).replication_for(100),
+            Err(MappingError::ZeroReplication)
+        );
+        assert_eq!(
+            ReplicationPolicy::MaxStepsPerLayer(0).replication_for(100),
+            Err(MappingError::ZeroStepsBound)
+        );
+        let net = reram_nn::models::lenet_spec();
+        let cfg = AcceleratorConfig::default().with_replication(ReplicationPolicy::ArrayBudget(0));
+        assert_eq!(map_network(&net, &cfg), Err(MappingError::ZeroArrayBudget));
+        let cfg = AcceleratorConfig::default().with_replication(ReplicationPolicy::Fixed(0));
+        assert_eq!(map_network(&net, &cfg), Err(MappingError::ZeroReplication));
     }
 
     #[test]
@@ -422,7 +499,7 @@ mod tests {
         };
         let cfg =
             AcceleratorConfig::default().with_replication(ReplicationPolicy::MaxStepsPerLayer(64));
-        let m = LayerMapping::map_with_policy(&fc, &cfg);
+        let m = LayerMapping::map_with_policy(&fc, &cfg).unwrap();
         assert_eq!(m.mvms_per_input, 1);
         assert_eq!(m.steps_per_input, 1);
         // 4096/128 row tiles x 1000/32 col tiles (16-bit weights, 4 slices).
@@ -433,7 +510,7 @@ mod tests {
     #[test]
     fn map_network_covers_weighted_layers() {
         let net = reram_nn::models::lenet_spec();
-        let maps = map_network(&net, &AcceleratorConfig::default());
+        let maps = map_network(&net, &AcceleratorConfig::default()).unwrap();
         assert_eq!(maps.len(), net.weighted_layer_count());
         assert!(maps.iter().all(|m| m.arrays > 0));
     }

@@ -43,6 +43,11 @@ pub struct PipelineTrace {
     /// Intermediate-result tensors written to memory subarrays (one per
     /// input per stage transition — the circles of Fig. 5(a)).
     pub buffer_writes: u64,
+    /// Intermediate-result tensors read back from memory subarrays: every
+    /// stage after the first consumes its predecessor's buffered output,
+    /// and each per-layer backward stage additionally re-reads the stored
+    /// forward activation for the weight-gradient computation.
+    pub buffer_reads: u64,
 }
 
 impl PipelineModel {
@@ -158,6 +163,7 @@ impl PipelineModel {
         let mut backward_busy = vec![0u64; l + 1];
         let mut weight_updates = 0u64;
         let mut buffer_writes = 0u64;
+        let mut buffer_reads = 0u64;
         let mut max_in_flight = 0usize;
         let mut clock: u64 = 0;
 
@@ -191,6 +197,16 @@ impl PipelineModel {
                     // the next stage (and forward results are also kept for
                     // the weight-gradient computation).
                     buffer_writes += 1;
+                    // Every stage after the first reads its predecessor's
+                    // buffered tensor ...
+                    if stage > 0 {
+                        buffer_reads += 1;
+                    }
+                    // ... and each per-layer backward stage re-reads the
+                    // stored forward activation of its mirror layer.
+                    if stage > l {
+                        buffer_reads += 1;
+                    }
                 }
                 max_in_flight = max_in_flight.max(in_flight);
             }
@@ -206,6 +222,7 @@ impl PipelineModel {
             weight_updates,
             max_in_flight,
             buffer_writes,
+            buffer_reads,
         };
         debug_assert_eq!(
             trace.total_cycles,
@@ -215,6 +232,7 @@ impl PipelineModel {
         span.add_cycles(trace.total_cycles);
         telemetry::with_recorder(|t| {
             t.record(Event::BufferWrite, trace.buffer_writes);
+            t.record(Event::BufferRead, trace.buffer_reads);
             t.record(Event::WeightUpdate, trace.weight_updates);
         });
         trace
@@ -234,6 +252,7 @@ impl PipelineModel {
         let l = self.layers;
         let mut forward_busy = vec![0u64; l];
         let mut buffer_writes = 0u64;
+        let mut buffer_reads = 0u64;
         let mut max_in_flight = 0usize;
         let last_done = n + l as u64 - 1;
         for t in 1..=last_done {
@@ -256,6 +275,9 @@ impl PipelineModel {
                 in_flight += 1;
                 forward_busy[stage] += 1;
                 buffer_writes += 1;
+                if stage > 0 {
+                    buffer_reads += 1;
+                }
             }
             max_in_flight = max_in_flight.max(in_flight);
         }
@@ -266,10 +288,12 @@ impl PipelineModel {
             weight_updates: 0,
             max_in_flight,
             buffer_writes,
+            buffer_reads,
         };
         debug_assert_eq!(trace.total_cycles, self.inference_cycles(n));
         span.add_cycles(trace.total_cycles);
         telemetry::record(Event::BufferWrite, trace.buffer_writes);
+        telemetry::record(Event::BufferRead, trace.buffer_reads);
         trace
     }
 }
@@ -386,6 +410,18 @@ mod tests {
         let trace = p.simulate_training(4);
         // 4 inputs x (2L+1 = 7) stages = 28 tensor writes.
         assert_eq!(trace.buffer_writes, 28);
+        // Per input: 2L predecessor reads (every stage but the first) plus
+        // L forward-activation re-reads in backward = 3L = 9; 4 inputs = 36.
+        assert_eq!(trace.buffer_reads, 36);
+    }
+
+    #[test]
+    fn inference_buffer_reads_skip_first_stage() {
+        let p = PipelineModel::new(5, 1);
+        let trace = p.simulate_inference(10);
+        // Each input reads L - 1 buffered predecessors.
+        assert_eq!(trace.buffer_reads, 10 * 4);
+        assert_eq!(trace.buffer_writes, 10 * 5);
     }
 
     #[test]

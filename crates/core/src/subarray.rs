@@ -101,6 +101,7 @@ impl MorphableSubarray {
         );
         self.weights_t
             .as_mut()
+            // lint:allow(panic) documented caller contract — program_training first
             .expect("compute_transposed requires program_training")
             .matvec(error)
     }
@@ -119,6 +120,7 @@ impl MorphableSubarray {
         );
         self.weights
             .as_mut()
+            // lint:allow(panic) documented caller contract — program weights first
             .expect("compute issued before programming weights")
             .matvec(input)
     }

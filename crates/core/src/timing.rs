@@ -72,8 +72,11 @@ impl NetworkTiming {
     pub fn analyze(net: &NetworkSpec, config: &AcceleratorConfig) -> Self {
         config
             .validate()
+            // lint:allow(panic) documented contract — invalid configs abort analysis
             .unwrap_or_else(|e| panic!("invalid accelerator config: {e}"));
-        let mappings = map_network(net, config);
+        let mappings = map_network(net, config)
+            // lint:allow(panic) documented contract — degenerate policy aborts analysis
+            .unwrap_or_else(|e| panic!("cannot map {}: {e}", net.name));
         assert!(
             !mappings.is_empty(),
             "network {} has no weighted layers",

@@ -1,6 +1,6 @@
 //! Readout-scheme design space: spike-based I&F vs. conventional ADCs.
 //!
-//! PipeLayer "uses a weighted spike coding scheme [9] to further reduce the
+//! PipeLayer "uses a weighted spike coding scheme \[9\] to further reduce the
 //! area and energy overhead" of conventional per-bitline ADC readout
 //! (§III-A.3 (a)). This module makes that claim checkable: it models both
 //! readout styles over the same array geometry and bit-serial schedule so

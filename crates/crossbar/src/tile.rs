@@ -45,6 +45,7 @@ impl TiledMatrix {
     pub fn program(w: &Matrix, config: &CrossbarConfig) -> Self {
         config
             .validate()
+            // lint:allow(panic) documented contract — invalid configs abort programming
             .unwrap_or_else(|e| panic!("invalid crossbar config: {e}"));
         assert!(
             w.rows() > 0 && w.cols() > 0,

@@ -1,0 +1,94 @@
+//! Rule `determinism`: simulation and report paths must replay exactly.
+//!
+//! The evaluation artifacts are regenerated from closed forms and seeded
+//! simulations; a wall-clock read or a hash-ordered iteration anywhere in
+//! those paths makes two runs disagree for no physical reason. Banned in
+//! first-party non-test code:
+//!
+//! - `Instant` / `SystemTime` (wall-clock reads),
+//! - `HashMap` / `HashSet` (iteration order varies across runs/platforms —
+//!   use `BTreeMap`/`BTreeSet` or index-keyed `Vec`s).
+//!
+//! The single sanctioned exception is the telemetry span timer
+//! (`crates/telemetry/src/span.rs`): host wall-clock per stage is exactly
+//! what it exists to report, and it never feeds simulated results. Other
+//! justified uses need `// lint:allow(determinism) <reason>`.
+//!
+//! The rule also enforces `#![forbid(unsafe_code)]` in every first-party
+//! crate root: determinism guarantees are only as strong as the memory
+//! model they stand on.
+
+use crate::scanner::tokenize;
+use crate::workspace::Workspace;
+use crate::Diagnostic;
+
+const RULE: &str = "determinism";
+
+/// Type identifiers banned from simulation/report code.
+pub const BANNED_TYPES: &[(&str, &str)] = &[
+    ("Instant", "wall-clock reads are not replayable"),
+    ("SystemTime", "wall-clock reads are not replayable"),
+    (
+        "HashMap",
+        "iteration order varies between runs; use BTreeMap",
+    ),
+    (
+        "HashSet",
+        "iteration order varies between runs; use BTreeSet",
+    ),
+];
+
+/// The sanctioned wall-clock site: the telemetry stage-span timer.
+pub const SANCTIONED_FILE: &str = "telemetry/src/span.rs";
+
+/// Runs the determinism rule (including the `forbid(unsafe_code)` check)
+/// over the workspace.
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for krate in &ws.crates {
+        // Crate-root hygiene: every lib crate forbids unsafe code.
+        if let Some(lib) = krate.lib_root() {
+            if !lib.raw.contains("#![forbid(unsafe_code)]") {
+                diags.push(Diagnostic::new(
+                    &lib.path,
+                    1,
+                    RULE,
+                    format!(
+                        "crate `{}` is missing `#![forbid(unsafe_code)]` in its \
+                         crate root",
+                        krate.name
+                    ),
+                ));
+            }
+        }
+
+        for file in &krate.files {
+            if file.path.ends_with(SANCTIONED_FILE) {
+                continue;
+            }
+            for (line_no, line) in file.code_lines() {
+                for token in tokenize(line) {
+                    let Some(ident) = token.ident() else { continue };
+                    let Some(&(_, why)) = BANNED_TYPES.iter().find(|(name, _)| *name == ident)
+                    else {
+                        continue;
+                    };
+                    if file.allowed(line_no, RULE) {
+                        continue;
+                    }
+                    diags.push(Diagnostic::new(
+                        &file.path,
+                        line_no,
+                        RULE,
+                        format!(
+                            "`{ident}` in simulation/report code: {why} \
+                             (annotate `// lint:allow(determinism) <reason>` if \
+                             this cannot feed simulated results)"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    diags
+}

@@ -1,0 +1,151 @@
+//! Rule `layering`: crate dependencies must point down the stack.
+//!
+//! The sanctioned dependency direction is
+//! `{tensor, telemetry} → {crossbar, datasets} → nn → gpu → core →
+//! bench → suite`: a crate may depend only on first-party crates in a
+//! strictly lower layer, so no back-edges (and no same-layer edges) can
+//! form. `reram-lint` itself is a tool outside the stack: it takes no
+//! first-party dependencies and nothing may depend on it.
+//!
+//! Both declaration sites are checked: `Cargo.toml` dependency tables and
+//! `reram_*` paths in non-test source (a `use` back-edge would not compile
+//! without the manifest edge, but checking both catches a manifest edit
+//! that sneaks an edge in "temporarily").
+
+use crate::workspace::Workspace;
+use crate::Diagnostic;
+
+/// Layer rank of every first-party crate. Lower = closer to the bottom of
+/// the stack; dependencies must strictly decrease rank.
+pub const LAYERS: &[(&str, u32)] = &[
+    ("reram-tensor", 0),
+    ("reram-telemetry", 0),
+    ("reram-crossbar", 1),
+    ("reram-datasets", 1),
+    ("reram-nn", 2),
+    ("reram-gpu", 3),
+    ("reram-core", 4),
+    ("reram-bench", 5),
+    ("reram-suite", 6),
+    ("reram-lint", 0),
+];
+
+/// Crates outside the dependency stack: no first-party edges in or out.
+pub const TOOL_CRATES: &[&str] = &["reram-lint"];
+
+const RULE: &str = "layering";
+
+fn rank(name: &str) -> Option<u32> {
+    LAYERS.iter().find(|(n, _)| *n == name).map(|&(_, r)| r)
+}
+
+fn is_tool(name: &str) -> bool {
+    TOOL_CRATES.contains(&name)
+}
+
+/// Runs the layering rule over the workspace.
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for krate in &ws.crates {
+        let Some(own_rank) = rank(&krate.name) else {
+            diags.push(Diagnostic::new(
+                &krate.manifest_path,
+                1,
+                RULE,
+                format!(
+                    "crate `{}` is not in the layering table; add it to \
+                     rules::layering::LAYERS with its layer rank",
+                    krate.name
+                ),
+            ));
+            continue;
+        };
+
+        // Manifest edges.
+        for (dep, line, _dev) in krate.first_party_deps() {
+            if is_tool(&dep) {
+                diags.push(Diagnostic::new(
+                    &krate.manifest_path,
+                    line,
+                    RULE,
+                    format!("`{dep}` is a tool crate; nothing may depend on it"),
+                ));
+                continue;
+            }
+            if is_tool(&krate.name) {
+                diags.push(Diagnostic::new(
+                    &krate.manifest_path,
+                    line,
+                    RULE,
+                    format!(
+                        "tool crate `{}` must stay dependency-free of the \
+                         stack but depends on `{dep}`",
+                        krate.name
+                    ),
+                ));
+                continue;
+            }
+            match rank(&dep) {
+                Some(dep_rank) if dep_rank >= own_rank => {
+                    diags.push(Diagnostic::new(
+                        &krate.manifest_path,
+                        line,
+                        RULE,
+                        format!(
+                            "back-edge: `{}` (layer {own_rank}) may not depend on \
+                             `{dep}` (layer {dep_rank}); dependencies must point \
+                             down the stack",
+                            krate.name
+                        ),
+                    ));
+                }
+                Some(_) => {}
+                None => diags.push(Diagnostic::new(
+                    &krate.manifest_path,
+                    line,
+                    RULE,
+                    format!("dependency `{dep}` is not in the layering table"),
+                )),
+            }
+        }
+
+        // Source-path edges (`reram_foo::...` in non-test code).
+        let own_ident = krate.name.replace('-', "_");
+        for file in &krate.files {
+            for (line_no, line) in file.code_lines() {
+                for token in crate::scanner::tokenize(line) {
+                    let Some(ident) = token.ident() else { continue };
+                    if !ident.starts_with("reram_") || ident == own_ident {
+                        continue;
+                    }
+                    if file.allowed(line_no, RULE) {
+                        continue;
+                    }
+                    let dep = ident.replace('_', "-");
+                    match rank(&dep) {
+                        Some(dep_rank) if dep_rank >= own_rank || is_tool(&dep) => {
+                            diags.push(Diagnostic::new(
+                                &file.path,
+                                line_no,
+                                RULE,
+                                format!(
+                                    "back-edge: `{}` (layer {own_rank}) references \
+                                     `{ident}` (layer {dep_rank})",
+                                    krate.name
+                                ),
+                            ));
+                        }
+                        Some(_) => {}
+                        None => diags.push(Diagnostic::new(
+                            &file.path,
+                            line_no,
+                            RULE,
+                            format!("path `{ident}` is not a known first-party crate"),
+                        )),
+                    }
+                }
+            }
+        }
+    }
+    diags
+}

@@ -1,0 +1,42 @@
+//! The rule set. Each rule module exposes `check(&Workspace) -> Vec<Diagnostic>`.
+
+pub mod determinism;
+pub mod layering;
+pub mod panics;
+pub mod telemetry;
+pub mod units;
+
+use crate::workspace::Workspace;
+use crate::Diagnostic;
+
+/// Signature every rule's `check` entry point shares.
+pub type RuleFn = fn(&Workspace) -> Vec<Diagnostic>;
+
+/// `(rule name, one-line description, check fn)` for every rule.
+pub const RULES: &[(&str, &str, RuleFn)] = &[
+    (
+        "layering",
+        "crate dependencies must point down the stack (tensor/telemetry -> crossbar -> nn -> gpu -> core -> bench -> suite)",
+        layering::check,
+    ),
+    (
+        "units",
+        "f64 quantities in crossbar::cost / core::timing / core::report carry unit suffixes; no cross-dimension +/-",
+        units::check,
+    ),
+    (
+        "telemetry-coverage",
+        "every telemetry::Event variant is emitted somewhere outside the telemetry crate",
+        telemetry::check,
+    ),
+    (
+        "panic",
+        "no unwrap/expect/panic!/todo!/unimplemented! in library code without lint:allow(panic)",
+        panics::check,
+    ),
+    (
+        "determinism",
+        "no Instant/SystemTime/HashMap/HashSet in simulation paths; crate roots forbid unsafe_code",
+        determinism::check,
+    ),
+];

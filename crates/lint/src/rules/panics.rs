@@ -1,0 +1,74 @@
+//! Rule `panic-policy`: library code must not reach for process aborts.
+//!
+//! `unwrap()`, `expect(...)`, `panic!`, `todo!`, and `unimplemented!` are
+//! forbidden in first-party library code outside `#[cfg(test)]` items.
+//! Simulation invariants should be `assert!`ed with a message (asserts
+//! document contracts and stay), recoverable conditions should return a
+//! typed error, and the rare justified abort must carry a
+//! `// lint:allow(panic) <reason>` annotation on or above the line.
+//! Binary entry points (`src/bin/`, `main.rs`) are exempt: aborting with a
+//! message *is* a CLI's error path.
+
+use crate::scanner::tokenize;
+use crate::workspace::Workspace;
+use crate::Diagnostic;
+
+const RULE: &str = "panic";
+
+/// Method calls that abort: `.unwrap()` / `.expect(...)`.
+const BANNED_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Macros that abort: `panic!` / `todo!` / `unimplemented!`.
+const BANNED_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+fn is_binary_source(path: &str) -> bool {
+    path.contains("/bin/") || path.ends_with("/main.rs") || path == "main.rs"
+}
+
+/// Runs the panic-policy rule over the workspace.
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for krate in &ws.crates {
+        for file in &krate.files {
+            if is_binary_source(&file.path) {
+                continue;
+            }
+            for (line_no, line) in file.code_lines() {
+                let tokens = tokenize(line);
+                for i in 0..tokens.len() {
+                    let Some(ident) = tokens[i].ident() else {
+                        continue;
+                    };
+                    let method_call = BANNED_METHODS.contains(&ident)
+                        && i > 0
+                        && tokens[i - 1].is_punct('.')
+                        && tokens.get(i + 1).is_some_and(|t| t.is_punct('('));
+                    let macro_call = BANNED_MACROS.contains(&ident)
+                        && tokens.get(i + 1).is_some_and(|t| t.is_punct('!'));
+                    if !(method_call || macro_call) {
+                        continue;
+                    }
+                    if file.allowed(line_no, RULE) {
+                        continue;
+                    }
+                    let display = if macro_call {
+                        format!("{ident}!")
+                    } else {
+                        format!(".{ident}()")
+                    };
+                    diags.push(Diagnostic::new(
+                        &file.path,
+                        line_no,
+                        RULE,
+                        format!(
+                            "`{display}` in library code — return a typed error, \
+                             use a messaged `assert!`, or annotate \
+                             `// lint:allow(panic) <reason>`"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    diags
+}

@@ -1,0 +1,149 @@
+//! Rule `telemetry-coverage`: every hardware event must be instrumented.
+//!
+//! The telemetry crate defines the event vocabulary (`Event::ALL`); the
+//! simulation crates are responsible for emitting each event wherever the
+//! modelled hardware activity happens. A variant that is never referenced
+//! outside the telemetry crate is a hole in the instrumentation: reports
+//! would silently show zero for it. This rule parses the `enum Event`
+//! variants out of the telemetry crate and requires at least one
+//! `Event::<Variant>` reference in another crate's non-test code.
+
+use crate::scanner::tokenize;
+use crate::workspace::Workspace;
+use crate::Diagnostic;
+
+const RULE: &str = "telemetry-coverage";
+
+/// Name of the crate defining the event vocabulary.
+pub const TELEMETRY_CRATE: &str = "reram-telemetry";
+
+/// Runs the telemetry-coverage rule over the workspace.
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let Some(telemetry) = ws.get(TELEMETRY_CRATE) else {
+        // Fixture workspaces without a telemetry crate have nothing to cover.
+        return Vec::new();
+    };
+    let variants = event_variants(telemetry);
+    if variants.is_empty() {
+        return vec![Diagnostic::new(
+            &telemetry.manifest_path,
+            1,
+            RULE,
+            "could not find any `enum Event` variants in the telemetry crate \
+             (rule out of sync with the code?)"
+                .to_owned(),
+        )];
+    }
+
+    let mut diags = Vec::new();
+    for (variant, def_path, def_line) in &variants {
+        let mut emitted = false;
+        'search: for krate in &ws.crates {
+            if krate.name == TELEMETRY_CRATE {
+                continue;
+            }
+            for file in &krate.files {
+                for (_, line) in file.code_lines() {
+                    if references_variant(line, variant) {
+                        emitted = true;
+                        break 'search;
+                    }
+                }
+            }
+        }
+        if !emitted {
+            diags.push(Diagnostic::new(
+                def_path,
+                *def_line,
+                RULE,
+                format!(
+                    "telemetry event `Event::{variant}` is never emitted outside \
+                     the telemetry crate — instrument the simulation path that \
+                     models it (or remove the variant)"
+                ),
+            ));
+        }
+    }
+    diags
+}
+
+/// `Event::<Variant>` with an identifier boundary after the variant.
+fn references_variant(masked_line: &str, variant: &str) -> bool {
+    let needle = format!("Event::{variant}");
+    let mut from = 0;
+    while let Some(pos) = masked_line[from..].find(&needle) {
+        let end = from + pos + needle.len();
+        let boundary = masked_line[end..]
+            .chars()
+            .next()
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        if boundary {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Parses `(variant, defining file, line)` out of the telemetry crate's
+/// `enum Event { ... }` block.
+fn event_variants(telemetry: &crate::workspace::CrateInfo) -> Vec<(String, String, usize)> {
+    let mut variants = Vec::new();
+    for file in &telemetry.files {
+        // Find `enum Event` and walk its block line by line.
+        let mut depth_into_enum: Option<usize> = None;
+        let mut depth = 0usize;
+        for (idx, line) in file.masked_lines.iter().enumerate() {
+            let tokens = tokenize(line);
+            let mut enum_here = false;
+            for w in 0..tokens.len() {
+                if tokens[w].ident() == Some("enum")
+                    && tokens
+                        .get(w + 1)
+                        .and_then(super::super::scanner::Token::ident)
+                        == Some("Event")
+                {
+                    enum_here = true;
+                }
+            }
+            if enum_here {
+                depth_into_enum = Some(depth);
+            }
+            if let Some(enum_depth) = depth_into_enum {
+                // Variant lines sit at depth enum_depth + 1 and start with
+                // an uppercase identifier followed by `,` or `=`.
+                if depth == enum_depth + 1 {
+                    if let Some(first) =
+                        tokens.first().and_then(super::super::scanner::Token::ident)
+                    {
+                        let starts_upper = first.chars().next().is_some_and(char::is_uppercase);
+                        let followed = tokens
+                            .get(1)
+                            .is_some_and(|t| t.is_punct(',') || t.is_punct('='));
+                        if starts_upper && followed {
+                            variants.push((first.to_owned(), file.path.clone(), idx + 1));
+                        }
+                    }
+                }
+            }
+            for c in line.chars() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if let Some(enum_depth) = depth_into_enum {
+                            if depth == enum_depth {
+                                depth_into_enum = None;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if !variants.is_empty() {
+            break;
+        }
+    }
+    variants
+}

@@ -1,0 +1,342 @@
+//! Fixture-based rule tests: each rule must trip on a known-bad snippet and
+//! stay quiet on the corresponding good snippet.
+
+use reram_lint::{check_workspace, Workspace};
+
+fn manifest(name: &str, deps: &[&str]) -> String {
+    let mut m = format!("[package]\nname = \"{name}\"\n[dependencies]\n");
+    for dep in deps {
+        m.push_str(&format!("{dep}.workspace = true\n"));
+    }
+    m
+}
+
+fn rules_hit(ws: &Workspace) -> Vec<(String, &'static str)> {
+    check_workspace(ws)
+        .into_iter()
+        .map(|d| (format!("{}:{}", d.path, d.line), d.rule))
+        .collect()
+}
+
+#[test]
+fn layering_flags_manifest_back_edge() {
+    // tensor (layer 0) depending on nn (layer 2) is a back-edge.
+    let m = manifest("reram-tensor", &["reram-nn"]);
+    let ws = Workspace::from_sources(&[(
+        "reram-tensor",
+        &m,
+        &[("crates/tensor/src/lib.rs", "#![forbid(unsafe_code)]\n")],
+    )]);
+    let diags = check_workspace(&ws);
+    assert!(
+        diags.iter().any(|d| d.rule == "layering"
+            && d.path.ends_with("Cargo.toml")
+            && d.message.contains("back-edge")),
+        "expected a manifest layering diagnostic, got: {diags:?}"
+    );
+}
+
+#[test]
+fn layering_flags_use_path_back_edge() {
+    let m = manifest("reram-crossbar", &["reram-tensor"]);
+    let src = "#![forbid(unsafe_code)]\nuse reram_core::AcceleratorConfig;\n";
+    let ws =
+        Workspace::from_sources(&[("reram-crossbar", &m, &[("crates/crossbar/src/lib.rs", src)])]);
+    let diags = check_workspace(&ws);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "layering" && d.path.ends_with("lib.rs") && d.line == 2),
+        "expected a source-path layering diagnostic, got: {diags:?}"
+    );
+}
+
+#[test]
+fn layering_accepts_downward_edges() {
+    let m = manifest("reram-crossbar", &["reram-tensor", "reram-telemetry"]);
+    let src =
+        "#![forbid(unsafe_code)]\nuse reram_tensor::Matrix;\nuse reram_telemetry as telemetry;\n";
+    let ws =
+        Workspace::from_sources(&[("reram-crossbar", &m, &[("crates/crossbar/src/lib.rs", src)])]);
+    assert!(
+        check_workspace(&ws).is_empty(),
+        "downward edges must pass: {:?}",
+        check_workspace(&ws)
+    );
+}
+
+#[test]
+fn layering_protects_tool_crate() {
+    let m = manifest("reram-bench", &["reram-lint"]);
+    let ws = Workspace::from_sources(&[(
+        "reram-bench",
+        &m,
+        &[("crates/bench/src/lib.rs", "#![forbid(unsafe_code)]\n")],
+    )]);
+    assert!(check_workspace(&ws)
+        .iter()
+        .any(|d| d.rule == "layering" && d.message.contains("tool crate")),);
+}
+
+#[test]
+fn units_flags_unsuffixed_float_field_and_const() {
+    let src = "#![forbid(unsafe_code)]\n\
+               const FRAME_OVERHEAD: f64 = 2.0;\n\
+               pub struct Cost {\n    pub latency: f64,\n    pub frames: u32,\n}\n";
+    let m = manifest("reram-crossbar", &[]);
+    let ws = Workspace::from_sources(&[(
+        "reram-crossbar",
+        &m,
+        &[
+            ("crates/crossbar/src/lib.rs", "#![forbid(unsafe_code)]\n"),
+            ("crates/crossbar/src/cost.rs", src),
+        ],
+    )]);
+    let hits = rules_hit(&ws);
+    assert!(
+        hits.contains(&("crates/crossbar/src/cost.rs:2".to_owned(), "units")),
+        "unsuffixed const must trip: {hits:?}"
+    );
+    assert!(
+        hits.contains(&("crates/crossbar/src/cost.rs:4".to_owned(), "units")),
+        "unsuffixed f64 field must trip: {hits:?}"
+    );
+    // The u32 count field is exempt.
+    assert!(!hits.contains(&("crates/crossbar/src/cost.rs:5".to_owned(), "units")));
+}
+
+#[test]
+fn units_flags_cross_dimension_addition() {
+    let src = "#![forbid(unsafe_code)]\n\
+               pub fn total(latency_ns: f64, energy_pj: f64) -> f64 {\n\
+                   latency_ns + energy_pj\n\
+               }\n";
+    let m = manifest("reram-core", &[]);
+    let ws = Workspace::from_sources(&[(
+        "reram-core",
+        &m,
+        &[
+            ("crates/core/src/lib.rs", "#![forbid(unsafe_code)]\n"),
+            ("crates/core/src/timing.rs", src),
+        ],
+    )]);
+    let hits = rules_hit(&ws);
+    assert!(
+        hits.contains(&("crates/core/src/timing.rs:3".to_owned(), "units")),
+        "ns + pj must trip: {hits:?}"
+    );
+}
+
+#[test]
+fn units_accepts_suffixed_quantities_and_same_dimension_sums() {
+    let src = "#![forbid(unsafe_code)]\n\
+               const FRAME_LATENCY_NS: f64 = 20.0;\n\
+               pub struct Cost {\n    pub latency_ns: f64,\n    pub energy_pj: f64,\n}\n\
+               pub fn f(c: &Cost) -> f64 {\n    c.latency_ns + 2.0 * FRAME_LATENCY_NS\n}\n\
+               pub fn g(a_pj: f64, b_pj: f64) -> f64 {\n    a_pj + b_pj\n}\n";
+    let m = manifest("reram-crossbar", &[]);
+    let ws = Workspace::from_sources(&[(
+        "reram-crossbar",
+        &m,
+        &[
+            ("crates/crossbar/src/lib.rs", "#![forbid(unsafe_code)]\n"),
+            ("crates/crossbar/src/cost.rs", src),
+        ],
+    )]);
+    let diags = check_workspace(&ws);
+    assert!(diags.is_empty(), "clean unit code must pass: {diags:?}");
+}
+
+#[test]
+fn telemetry_coverage_flags_unemitted_variant() {
+    let telemetry_manifest = manifest("reram-telemetry", &[]);
+    let event_src = "#![forbid(unsafe_code)]\n\
+                     pub enum Event {\n    CrossbarMvm = 0,\n    CellWrite = 1,\n}\n";
+    let emitter_manifest = manifest("reram-crossbar", &["reram-telemetry"]);
+    let emitter_src = "#![forbid(unsafe_code)]\n\
+                       pub fn mvm() { record(Event::CrossbarMvm, 1); }\n";
+    let ws = Workspace::from_sources(&[
+        (
+            "reram-telemetry",
+            &telemetry_manifest,
+            &[
+                ("crates/telemetry/src/lib.rs", "#![forbid(unsafe_code)]\n"),
+                ("crates/telemetry/src/event.rs", event_src),
+            ],
+        ),
+        (
+            "reram-crossbar",
+            &emitter_manifest,
+            &[("crates/crossbar/src/lib.rs", emitter_src)],
+        ),
+    ]);
+    let diags = check_workspace(&ws);
+    let coverage: Vec<_> = diags
+        .iter()
+        .filter(|d| d.rule == "telemetry-coverage")
+        .collect();
+    assert_eq!(coverage.len(), 1, "exactly CellWrite uncovered: {diags:?}");
+    assert!(coverage[0].message.contains("CellWrite"));
+    assert_eq!(coverage[0].line, 4);
+}
+
+#[test]
+fn telemetry_coverage_passes_when_all_variants_emitted() {
+    let telemetry_manifest = manifest("reram-telemetry", &[]);
+    let event_src = "#![forbid(unsafe_code)]\npub enum Event {\n    CrossbarMvm = 0,\n}\n";
+    let emitter_manifest = manifest("reram-crossbar", &["reram-telemetry"]);
+    let emitter_src = "#![forbid(unsafe_code)]\npub fn mvm() { record(Event::CrossbarMvm, 1); }\n";
+    let ws = Workspace::from_sources(&[
+        (
+            "reram-telemetry",
+            &telemetry_manifest,
+            &[
+                ("crates/telemetry/src/lib.rs", "#![forbid(unsafe_code)]\n"),
+                ("crates/telemetry/src/event.rs", event_src),
+            ],
+        ),
+        (
+            "reram-crossbar",
+            &emitter_manifest,
+            &[("crates/crossbar/src/lib.rs", emitter_src)],
+        ),
+    ]);
+    assert!(check_workspace(&ws).is_empty());
+}
+
+#[test]
+fn panic_policy_flags_unannotated_aborts() {
+    let src = "#![forbid(unsafe_code)]\n\
+               pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+               pub fn g() { panic!(\"boom\"); }\n\
+               pub fn h() { todo!() }\n";
+    let m = manifest("reram-nn", &[]);
+    let ws = Workspace::from_sources(&[(
+        "reram-nn",
+        &m,
+        &[
+            ("crates/nn/src/lib.rs", "#![forbid(unsafe_code)]\n"),
+            ("crates/nn/src/layers.rs", src),
+        ],
+    )]);
+    let hits = rules_hit(&ws);
+    for line in [2, 3, 4] {
+        assert!(
+            hits.contains(&(format!("crates/nn/src/layers.rs:{line}"), "panic")),
+            "line {line} must trip: {hits:?}"
+        );
+    }
+}
+
+#[test]
+fn panic_policy_honors_tests_annotations_and_binaries() {
+    let src = "#![forbid(unsafe_code)]\n\
+               // lint:allow(panic) poisoned mutex means a test already failed\n\
+               pub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n\
+               pub fn doc() { /* panic! in a comment */ let s = \"unwrap()\"; let _ = s; }\n\
+               #[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u32>.unwrap(); }\n}\n";
+    let bin_src = "fn main() { std::env::args().next().unwrap(); }\n";
+    let m = manifest("reram-nn", &[]);
+    let ws = Workspace::from_sources(&[(
+        "reram-nn",
+        &m,
+        &[
+            ("crates/nn/src/lib.rs", "#![forbid(unsafe_code)]\n"),
+            ("crates/nn/src/layers.rs", src),
+            ("crates/nn/src/bin/tool.rs", bin_src),
+        ],
+    )]);
+    let diags = check_workspace(&ws);
+    assert!(
+        diags.iter().all(|d| d.rule != "panic"),
+        "annotated/test/binary/comment panics must pass: {diags:?}"
+    );
+}
+
+#[test]
+fn allow_without_reason_is_itself_flagged() {
+    let src = "#![forbid(unsafe_code)]\npub fn f(x: Option<u32>) -> u32 { x.unwrap() } // lint:allow(panic)\n";
+    let m = manifest("reram-nn", &[]);
+    let ws = Workspace::from_sources(&[(
+        "reram-nn",
+        &m,
+        &[
+            ("crates/nn/src/lib.rs", "#![forbid(unsafe_code)]\n"),
+            ("crates/nn/src/layers.rs", src),
+        ],
+    )]);
+    let diags = check_workspace(&ws);
+    assert!(diags.iter().any(|d| d.rule == "allow-syntax"));
+    // And the reasonless allow does not waive the underlying violation.
+    assert!(diags.iter().any(|d| d.rule == "panic"));
+}
+
+#[test]
+fn determinism_flags_wall_clock_and_hash_iteration() {
+    let src = "#![forbid(unsafe_code)]\n\
+               use std::time::Instant;\n\
+               use std::collections::HashMap;\n\
+               pub fn f() { let _t = Instant::now(); }\n";
+    let m = manifest("reram-core", &[]);
+    let ws = Workspace::from_sources(&[(
+        "reram-core",
+        &m,
+        &[
+            ("crates/core/src/lib.rs", "#![forbid(unsafe_code)]\n"),
+            ("crates/core/src/pipeline.rs", src),
+        ],
+    )]);
+    let hits = rules_hit(&ws);
+    for line in [2, 3, 4] {
+        assert!(
+            hits.contains(&(format!("crates/core/src/pipeline.rs:{line}"), "determinism")),
+            "line {line} must trip: {hits:?}"
+        );
+    }
+}
+
+#[test]
+fn determinism_sanctions_telemetry_span_and_annotations() {
+    let span_src = "#![forbid(unsafe_code)]\nuse std::time::Instant;\n";
+    let annotated = "#![forbid(unsafe_code)]\n\
+                     // lint:allow(determinism) cache key only, never ordered output\n\
+                     use std::collections::HashMap;\n";
+    let tm = manifest("reram-telemetry", &[]);
+    let cm = manifest("reram-core", &[]);
+    let ws = Workspace::from_sources(&[
+        (
+            "reram-telemetry",
+            &tm,
+            &[
+                ("crates/telemetry/src/lib.rs", "#![forbid(unsafe_code)]\n"),
+                ("crates/telemetry/src/span.rs", span_src),
+            ],
+        ),
+        (
+            "reram-core",
+            &cm,
+            &[
+                ("crates/core/src/lib.rs", "#![forbid(unsafe_code)]\n"),
+                ("crates/core/src/cache.rs", annotated),
+            ],
+        ),
+    ]);
+    let diags = check_workspace(&ws);
+    assert!(
+        diags.iter().all(|d| d.rule != "determinism"),
+        "span.rs and annotated uses must pass: {diags:?}"
+    );
+}
+
+#[test]
+fn determinism_requires_forbid_unsafe_in_crate_root() {
+    let m = manifest("reram-gpu", &[]);
+    let ws = Workspace::from_sources(&[(
+        "reram-gpu",
+        &m,
+        &[("crates/gpu/src/lib.rs", "pub fn f() {}\n")],
+    )]);
+    assert!(check_workspace(&ws)
+        .iter()
+        .any(|d| d.rule == "determinism" && d.message.contains("forbid(unsafe_code)")));
+}

@@ -1,0 +1,49 @@
+//! The live workspace must be lint-clean: every invariant the rules encode
+//! holds for the code as committed. A violation here is a real architecture
+//! regression, not a lint bug — fix the code or annotate it with a reason.
+
+use std::path::Path;
+
+use reram_lint::{check_workspace, Workspace};
+
+#[test]
+fn live_workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let ws = Workspace::load(&root).expect("workspace loads");
+    assert!(
+        ws.crates.len() >= 10,
+        "expected all first-party crates, found {}",
+        ws.crates.len()
+    );
+    let diags = check_workspace(&ws);
+    assert!(
+        diags.is_empty(),
+        "workspace has {} lint violation(s):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn live_workspace_covers_known_crates() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let ws = Workspace::load(&root).expect("workspace loads");
+    for name in [
+        "reram-suite",
+        "reram-tensor",
+        "reram-telemetry",
+        "reram-crossbar",
+        "reram-nn",
+        "reram-datasets",
+        "reram-gpu",
+        "reram-core",
+        "reram-bench",
+        "reram-lint",
+    ] {
+        assert!(ws.get(name).is_some(), "missing first-party crate {name}");
+    }
+}

@@ -148,6 +148,7 @@ impl LinearEngine {
                         *dirty = false;
                     }
                 }
+                // lint:allow(panic) the branch above just populated the grid
                 let t = tiled.as_mut().expect("grid just programmed");
                 let mut y = t.matmul_rows(x);
                 if let Some(b) = bias {
@@ -196,6 +197,7 @@ impl LinearEngine {
                 }
                 tiled_t
                     .as_mut()
+                    // lint:allow(panic) the branch above just populated the grid
                     .expect("transposed grid just programmed")
                     .matmul_rows(g)
             }

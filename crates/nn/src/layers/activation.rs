@@ -82,6 +82,7 @@ impl Layer for ActivationLayer {
         let input = self
             .cached_input
             .as_ref()
+            // lint:allow(panic) Layer trait contract — backward follows a training forward
             .expect("activation backward before forward(train=true)");
         input.zip_map(grad_out, |x, g| self.activation.derivative(x) * g)
     }

@@ -188,6 +188,7 @@ impl Layer for BatchNorm {
                     let istd = self.inv_std_from_var(&var);
                     self.reference = Some((mean, istd));
                 }
+                // lint:allow(panic) the branch above just populated the reference stats
                 let (mean, istd) = self.reference.clone().expect("reference just set");
                 (mean, istd, false)
             }
@@ -214,6 +215,7 @@ impl Layer for BatchNorm {
         let cache = self
             .cache
             .as_ref()
+            // lint:allow(panic) Layer trait contract — backward follows a training forward
             .expect("batch_norm backward before forward(train=true)");
         let s = grad_out.shape();
         assert_eq!(s, cache.xhat.shape(), "batch_norm backward shape mismatch");

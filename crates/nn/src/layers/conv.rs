@@ -138,6 +138,7 @@ impl Layer for Conv2d {
         let input = self
             .cached_input
             .as_ref()
+            // lint:allow(panic) Layer trait contract — backward follows a training forward
             .expect("conv backward before forward(train=true)");
         let gw = ops::conv2d_backward_weight(
             grad_out,

@@ -113,6 +113,7 @@ impl Layer for Linear {
         let x = self
             .cached_input
             .as_ref()
+            // lint:allow(panic) Layer trait contract — backward follows a training forward
             .expect("fc backward before forward(train=true)");
         let g = grad_out.to_matrix();
         assert_eq!(g.cols(), self.out_features(), "fc backward: gradient width");

@@ -81,6 +81,7 @@ impl Layer for FracConv2d {
         let input = self
             .cached_input
             .as_ref()
+            // lint:allow(panic) Layer trait contract — backward follows a training forward
             .expect("frac_conv backward before forward(train=true)");
         let gw = ops::conv_transpose2d_backward_weight(
             grad_out,

@@ -89,6 +89,7 @@ impl Layer for Pool2d {
         match self
             .cached
             .as_ref()
+            // lint:allow(panic) Layer trait contract — backward follows a training forward
             .expect("pool backward before forward(train=true)")
         {
             PoolCache::Max(idx) => ops::max_pool2d_backward(grad_out, idx),

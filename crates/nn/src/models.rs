@@ -163,6 +163,7 @@ impl crate::Layer for Reshape {
     }
 
     fn backward(&mut self, grad_out: &reram_tensor::Tensor) -> reram_tensor::Tensor {
+        // lint:allow(panic) Layer trait contract — backward follows a training forward
         let shape = self.cached.expect("reshape backward before forward");
         grad_out.reshape(shape)
     }
@@ -517,11 +518,11 @@ mod tests {
         // Same crossbar matrices for the weighted layers.
         let a: Vec<_> = live
             .weighted_layers()
-            .map(|l| l.crossbar_matrix())
+            .map(super::super::spec::LayerSpec::crossbar_matrix)
             .collect();
         let b: Vec<_> = spec
             .weighted_layers()
-            .map(|l| l.crossbar_matrix())
+            .map(super::super::spec::LayerSpec::crossbar_matrix)
             .collect();
         assert_eq!(a, b);
     }

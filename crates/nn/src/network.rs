@@ -171,8 +171,10 @@ impl Network {
                         logits
                             .at(n, a, 0, 0)
                             .partial_cmp(&logits.at(n, b, 0, 0))
+                            // lint:allow(panic) loss/logits are NaN-free by construction
                             .expect("finite logits")
                     })
+                    // lint:allow(panic) networks always have a positive class count
                     .expect("non-empty logits")
             })
             .collect()

@@ -175,10 +175,12 @@ impl LayerSpec {
     pub fn forward_macs(&self) -> u64 {
         match *self {
             LayerSpec::Conv { in_c, out_c, k, .. } => {
+                // lint:allow(panic) spatial variants always have output dimensions
                 let (oh, ow) = self.conv_output_hw().expect("conv has output hw");
                 (in_c * k * k * out_c * oh * ow) as u64
             }
             LayerSpec::FracConv { in_c, out_c, k, .. } => {
+                // lint:allow(panic) spatial variants always have output dimensions
                 let (oh, ow) = self.conv_output_hw().expect("frac conv has output hw");
                 (in_c * k * k * out_c * oh * ow) as u64
             }
@@ -187,6 +189,7 @@ impl LayerSpec {
                 out_features,
             } => (in_features * out_features) as u64,
             LayerSpec::Pool { c, k, .. } => {
+                // lint:allow(panic) spatial variants always have output dimensions
                 let (oh, ow) = self.conv_output_hw().expect("pool has output hw");
                 (c * k * k * oh * ow) as u64
             }
@@ -198,11 +201,13 @@ impl LayerSpec {
     pub fn output_elems(&self) -> usize {
         match *self {
             LayerSpec::Conv { out_c, .. } | LayerSpec::FracConv { out_c, .. } => {
+                // lint:allow(panic) spatial variants always have output dimensions
                 let (oh, ow) = self.conv_output_hw().expect("output hw");
                 out_c * oh * ow
             }
             LayerSpec::Fc { out_features, .. } => out_features,
             LayerSpec::Pool { c, .. } => {
+                // lint:allow(panic) spatial variants always have output dimensions
                 let (oh, ow) = self.conv_output_hw().expect("output hw");
                 c * oh * ow
             }

@@ -68,6 +68,7 @@ impl TrainHistory {
     ///
     /// Panics if the history is empty.
     pub fn final_loss(&self) -> f32 {
+        // lint:allow(panic) documented accessor contract — history must be non-empty
         *self.losses.last().expect("non-empty history")
     }
 

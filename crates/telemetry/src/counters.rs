@@ -46,14 +46,17 @@ impl CounterRecorder {
 
     /// Completed spans aggregated by stage name, in first-seen order.
     pub fn span_reports(&self) -> Vec<SpanReport> {
-        self.spans.lock().unwrap_or_else(|e| e.into_inner()).clone()
+        self.spans
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
     }
 
     /// All recorded metric samples, in record order.
     pub fn metrics(&self) -> Vec<(String, f64)> {
         self.metrics
             .lock()
-            .unwrap_or_else(|e| e.into_inner())
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|m| (m.name.clone(), m.value))
             .collect()
@@ -63,7 +66,7 @@ impl CounterRecorder {
     pub fn metric_samples(&self) -> Vec<MetricSample> {
         self.metrics
             .lock()
-            .unwrap_or_else(|e| e.into_inner())
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .clone()
     }
 
@@ -72,10 +75,13 @@ impl CounterRecorder {
         for counter in &self.counts {
             counter.store(0, Ordering::Relaxed);
         }
-        self.spans.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        self.spans
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
         self.metrics
             .lock()
-            .unwrap_or_else(|e| e.into_inner())
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .clear();
     }
 }
@@ -86,7 +92,10 @@ impl Recorder for CounterRecorder {
     }
 
     fn span(&self, name: &str, wall_ns: u64, sim_cycles: u64) {
-        let mut spans = self.spans.lock().unwrap_or_else(|e| e.into_inner());
+        let mut spans = self
+            .spans
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(existing) = spans.iter_mut().find(|s| s.name == name) {
             existing.calls += 1;
             existing.wall_ns += wall_ns;
@@ -104,7 +113,7 @@ impl Recorder for CounterRecorder {
     fn metric(&self, name: &str, value: f64) {
         self.metrics
             .lock()
-            .unwrap_or_else(|e| e.into_inner())
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push(MetricSample {
                 name: name.to_owned(),
                 value,

@@ -51,7 +51,9 @@ pub fn enabled() -> bool {
 /// Prefer [`scoped_recorder`] in tests; this unscoped variant suits binaries
 /// that install one recorder for their whole run.
 pub fn set_recorder(recorder: Arc<dyn Recorder>) {
-    let mut slot = RECORDER.write().unwrap_or_else(|e| e.into_inner());
+    let mut slot = RECORDER
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     *slot = Some(recorder);
     ENABLED.store(true, Ordering::Release);
 }
@@ -59,7 +61,9 @@ pub fn set_recorder(recorder: Arc<dyn Recorder>) {
 /// Removes the global recorder, returning instrumentation to no-op mode.
 pub fn clear_recorder() {
     ENABLED.store(false, Ordering::Release);
-    let mut slot = RECORDER.write().unwrap_or_else(|e| e.into_inner());
+    let mut slot = RECORDER
+        .write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     *slot = None;
 }
 
@@ -69,7 +73,9 @@ pub fn clear_recorder() {
 /// the first guard drops, which keeps parallel `cargo test` threads from
 /// polluting each other's counters.
 pub fn scoped_recorder(recorder: Arc<dyn Recorder>) -> ScopedRecorder {
-    let lock = SCOPE.lock().unwrap_or_else(|e| e.into_inner());
+    let lock = SCOPE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     set_recorder(recorder);
     ScopedRecorder { _lock: lock }
 }
@@ -94,7 +100,9 @@ pub fn with_recorder(f: impl FnOnce(&dyn Recorder)) {
     if !enabled() {
         return;
     }
-    let guard = RECORDER.read().unwrap_or_else(|e| e.into_inner());
+    let guard = RECORDER
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     if let Some(recorder) = guard.as_ref() {
         f(recorder.as_ref());
     }

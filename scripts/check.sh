@@ -22,6 +22,7 @@ FIRST_PARTY=(
     reram-gpu
     reram-core
     reram-bench
+    reram-lint
 )
 
 status=0
@@ -44,6 +45,20 @@ if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy --offline --all-targets "${pkg_flags[@]}" -- -D warnings || status=1
 else
     echo "== clippy not installed; skipping lint check =="
+fi
+
+echo "== reram-lint (architectural invariants) =="
+cargo run --offline -q -p reram-lint || status=1
+
+if rustdoc --version >/dev/null 2>&1; then
+    echo "== cargo doc -D warnings =="
+    pkg_flags=()
+    for pkg in "${FIRST_PARTY[@]}"; do
+        pkg_flags+=(-p "$pkg")
+    done
+    RUSTDOCFLAGS="-D warnings" cargo doc --offline -q --no-deps "${pkg_flags[@]}" || status=1
+else
+    echo "== rustdoc not installed; skipping doc check =="
 fi
 
 if [ "$status" -ne 0 ]; then

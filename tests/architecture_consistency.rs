@@ -23,7 +23,11 @@ fn accelerator_arrays_equal_mapping_totals() {
     let net = models::vgg_a_spec();
     let cfg = AcceleratorConfig::default();
     let report = PipeLayerAccelerator::new(cfg.clone()).train_cost(&net, 32, 64);
-    let total: usize = map_network(&net, &cfg).iter().map(|m| m.arrays).sum();
+    let total: usize = map_network(&net, &cfg)
+        .expect("maps")
+        .iter()
+        .map(|m| m.arrays)
+        .sum();
     assert_eq!(report.arrays, total);
 }
 

@@ -182,7 +182,7 @@ mod tests {
             let f = rng.gen_range(-2.0f32..2.0);
             assert!((-2.0..2.0).contains(&f));
             let g = rng.gen_range(f64::EPSILON..1.0);
-            assert!(g >= f64::EPSILON && g < 1.0);
+            assert!((f64::EPSILON..1.0).contains(&g));
         }
     }
 
