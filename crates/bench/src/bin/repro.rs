@@ -6,7 +6,7 @@
 //! cargo run -p reram-bench --bin repro --release -- --json out.json
 //! ```
 //!
-//! Artifacts: `fig3 fig4 fig5 fig7 fig8 fig9 table1 ablations`.
+//! Artifacts: `fig3 fig4 fig5 fig7 fig8 fig9 table1 plan ablations`.
 //!
 //! With `--json <path>`, a telemetry recorder observes the whole run and a
 //! structured [`reram_telemetry::RunReport`] is written to `<path>`: the
@@ -16,7 +16,9 @@
 
 use std::sync::Arc;
 
-use reram_bench::experiments::{ablations, fig3, fig4, fig5, fig7, fig8, fig9, table1};
+use reram_bench::experiments::{
+    ablations, fig3, fig4, fig5, fig7, fig8, fig9, plan_latency, table1,
+};
 use reram_core::AcceleratorConfig;
 use reram_nn::models;
 use reram_telemetry::CounterRecorder;
@@ -55,6 +57,10 @@ fn run(artifact: &str) -> bool {
         "table1" => section(
             "Table I: PipeLayer and ReGAN vs GTX 1080 (E6/E7)",
             table1::run().render(),
+        ),
+        "plan" => section(
+            "Analysis: uniform macro-cycles vs per-layer plan latency, AlexNet (E9)",
+            plan_latency::run().render(),
         ),
         "ablations" => {
             section(
@@ -104,7 +110,7 @@ fn run(artifact: &str) -> bool {
 }
 
 fn main() {
-    const ALL: [&str; 8] = [
+    const ALL: [&str; 9] = [
         "fig3",
         "fig4",
         "fig5",
@@ -112,6 +118,7 @@ fn main() {
         "fig8",
         "fig9",
         "table1",
+        "plan",
         "ablations",
     ];
     let mut artifacts: Vec<String> = Vec::new();

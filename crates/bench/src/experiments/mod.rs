@@ -9,4 +9,5 @@ pub mod fig5;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod plan_latency;
 pub mod table1;

@@ -7,8 +7,8 @@
 //! against [`reram_gpu::GpuModel`] reproduces the speedup / energy-saving
 //! rows of Table I.
 
-use crate::pipeline::PipelineModel;
-use crate::regan::{ReganOpt, ReganPipeline};
+use crate::plan::{self, ExecutionPlan, PlanError};
+use crate::regan::ReganOpt;
 use crate::timing::NetworkTiming;
 use crate::AcceleratorConfig;
 use reram_gpu::GpuCost;
@@ -75,6 +75,21 @@ impl PipeLayerAccelerator {
         &self.config
     }
 
+    /// Lowers `net` to the [`ExecutionPlan`] every cost method prices.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanError`] from [`ExecutionPlan::lower`].
+    pub fn plan(&self, net: &NetworkSpec) -> Result<ExecutionPlan, PlanError> {
+        ExecutionPlan::lower(net, &self.config)
+    }
+
+    fn plan_or_panic(&self, net: &NetworkSpec) -> ExecutionPlan {
+        self.plan(net)
+            // lint:allow(panic) documented contract — unliftable networks abort costing
+            .unwrap_or_else(|e| panic!("cannot plan {}: {e}", net.name))
+    }
+
     /// Cost of pipelined training of `n` inputs at batch size `batch`.
     ///
     /// # Panics
@@ -82,8 +97,9 @@ impl PipeLayerAccelerator {
     /// Panics if `n` is not a positive multiple of `batch`.
     pub fn train_cost(&self, net: &NetworkSpec, batch: usize, n: u64) -> AccelReport {
         let mut span = Span::enter("accel/train_cost");
-        let timing = NetworkTiming::analyze(net, &self.config);
-        let pipe = PipelineModel::new(net.weighted_layer_count(), batch);
+        let plan = self.plan_or_panic(net);
+        let timing = NetworkTiming::from_plan(&plan);
+        let pipe = plan.pipeline_model(batch);
         let cycles = pipe.training_cycles(n);
         span.add_cycles(cycles);
         let batches = n / batch as u64;
@@ -106,8 +122,9 @@ impl PipeLayerAccelerator {
     /// Panics if `n` is not a positive multiple of `batch`.
     pub fn train_cost_sequential(&self, net: &NetworkSpec, batch: usize, n: u64) -> AccelReport {
         let mut span = Span::enter("accel/train_cost_sequential");
-        let timing = NetworkTiming::analyze(net, &self.config);
-        let pipe = PipelineModel::new(net.weighted_layer_count(), batch);
+        let plan = self.plan_or_panic(net);
+        let timing = NetworkTiming::from_plan(&plan);
+        let pipe = plan.pipeline_model(batch);
         let cycles = pipe.sequential_training_cycles(n);
         span.add_cycles(cycles);
         let batches = n / batch as u64;
@@ -129,8 +146,9 @@ impl PipeLayerAccelerator {
     /// Panics if `n == 0`.
     pub fn inference_cost(&self, net: &NetworkSpec, n: u64) -> AccelReport {
         let mut span = Span::enter("accel/inference_cost");
-        let timing = NetworkTiming::analyze(net, &self.config);
-        let pipe = PipelineModel::new(net.weighted_layer_count(), 1);
+        let plan = self.plan_or_panic(net);
+        let timing = NetworkTiming::from_plan(&plan);
+        let pipe = plan.pipeline_model(1);
         let cycles = pipe.inference_cycles(n);
         span.add_cycles(cycles);
         AccelReport {
@@ -141,6 +159,29 @@ impl PipeLayerAccelerator {
             arrays: timing.total_arrays,
             area_mm2: timing.area_mm2,
         }
+    }
+
+    /// Pipelined training wall-clock with *per-layer* stage latencies from
+    /// the execution plan, seconds — each stage runs at its own layer's
+    /// speed instead of being padded to the slowest (the macro-cycle
+    /// accounting of [`PipeLayerAccelerator::train_cost`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a positive multiple of `batch` or the network
+    /// cannot be lowered.
+    pub fn train_time_per_layer_s(&self, net: &NetworkSpec, batch: usize, n: u64) -> f64 {
+        self.plan_or_panic(net).pipelined_training_time_s(n, batch)
+    }
+
+    /// Pipelined inference wall-clock with per-layer stage latencies from
+    /// the execution plan, seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or the network cannot be lowered.
+    pub fn inference_time_per_layer_s(&self, net: &NetworkSpec, n: u64) -> f64 {
+        self.plan_or_panic(net).pipelined_inference_time_s(n)
     }
 }
 
@@ -184,13 +225,15 @@ impl ReGanAccelerator {
     ) -> AccelReport {
         assert!(iterations > 0, "need at least one iteration");
         let mut span = Span::enter("accel/regan_train_cost");
-        let g_timing = NetworkTiming::analyze(generator, &self.config);
-        let d_timing = NetworkTiming::analyze(discriminator, &self.config);
-        let pipe = ReganPipeline::new(
-            discriminator.weighted_layer_count(),
-            generator.weighted_layer_count(),
-            batch,
-        );
+        let g_plan = ExecutionPlan::lower(generator, &self.config)
+            // lint:allow(panic) documented contract — unliftable networks abort costing
+            .unwrap_or_else(|e| panic!("cannot plan {}: {e}", generator.name));
+        let d_plan = ExecutionPlan::lower(discriminator, &self.config)
+            // lint:allow(panic) documented contract — unliftable networks abort costing
+            .unwrap_or_else(|e| panic!("cannot plan {}: {e}", discriminator.name));
+        let g_timing = NetworkTiming::from_plan(&g_plan);
+        let d_timing = NetworkTiming::from_plan(&d_plan);
+        let pipe = plan::regan_pipeline(&d_plan, &g_plan, batch);
         let cycles = pipe.total_cycles(iterations, self.opt);
         span.add_cycles(cycles);
         // Two update cycles per iteration (D and G).

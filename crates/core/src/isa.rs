@@ -77,6 +77,27 @@ pub enum Instruction {
         /// Destination memory subarray (propagated error vector).
         dst_mem: usize,
     },
+    /// Max-pool the tensor held in `src_mem` (layout `(C, H, W)` flattened
+    /// channel-major) into `dst_mem` — the pooling peripheral that the
+    /// morphable subarrays contain alongside the activation circuitry
+    /// (§III-A.3 (c)), exposed as its own decoded operation so POOL layers
+    /// lower onto the bank without a host round trip.
+    MaxPool {
+        /// Source memory subarray.
+        src_mem: usize,
+        /// Destination memory subarray.
+        dst_mem: usize,
+        /// Channel count of the stored tensor.
+        c: usize,
+        /// Pooling window size.
+        k: usize,
+        /// Pooling stride.
+        stride: usize,
+        /// Stored tensor height.
+        in_h: usize,
+        /// Stored tensor width.
+        in_w: usize,
+    },
     /// Copy a memory subarray into the bank buffer (private data ports, so
     /// buffer accesses don't consume memory-subarray bandwidth).
     StoreBuffer {
@@ -112,6 +133,7 @@ impl Instruction {
             Instruction::LoadMem { .. } => "load_mem",
             Instruction::Compute { .. } => "compute",
             Instruction::ComputeTransposed { .. } => "compute_t",
+            Instruction::MaxPool { .. } => "max_pool",
             Instruction::StoreBuffer { .. } => "store_buffer",
             Instruction::ReadMem { .. } => "read_mem",
             Instruction::MemWrite { .. } => "mem_write",

@@ -15,6 +15,10 @@
 //! * [`pipeline`] — the inter-layer training pipeline of Fig. 5, as both
 //!   closed-form cycle counts and a cycle-stepped simulator that is checked
 //!   against them,
+//! * [`plan`] — the backend-neutral lowering IR: every network becomes one
+//!   [`ExecutionPlan`] of per-layer mappings, MVM counts, buffer traffic
+//!   and cycle/energy closed forms that the timing, pipeline, report and
+//!   GPU cost models all consume,
 //! * [`regan`] — the GAN training pipeline of Fig. 8 with the spatial
 //!   parallelism (SP) and computation sharing (CS) optimizations of Fig. 9,
 //! * [`timing`] — conversion of pipeline macro-cycles into wall-clock time
@@ -50,6 +54,7 @@ pub mod endurance;
 pub mod isa;
 pub mod mapping;
 pub mod pipeline;
+pub mod plan;
 pub mod regan;
 pub mod report;
 pub mod subarray;
@@ -59,10 +64,11 @@ mod config;
 
 pub use accelerator::{AccelReport, PipeLayerAccelerator, ReGanAccelerator};
 pub use chip::{BankShape, ChipPlan};
-pub use compiler::{CompiledMlp, FcStage, TrainableMlp};
+pub use compiler::{CompileError, CompiledMlp, CompiledNetwork, FcStage, NetStage, TrainableMlp};
 pub use config::AcceleratorConfig;
 pub use endurance::{EnduranceClass, EnduranceReport};
 pub use mapping::{LayerMapping, MappingError, MappingScheme, ReplicationPolicy};
 pub use pipeline::{PipelineModel, PipelineTrace};
+pub use plan::{regan_pipeline, ExecutionPlan, LayerPlan, PlanError};
 pub use regan::{ReganOpt, ReganPipeline};
 pub use report::{build_run_report, layer_adc_conversions, layer_cell_writes, layer_reports};

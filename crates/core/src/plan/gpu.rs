@@ -1,0 +1,67 @@
+//! GPU baseline costing of execution plans.
+//!
+//! The GPU model sits *below* this crate in the workspace layering, so it
+//! cannot see [`ExecutionPlan`]; instead it costs the backend-neutral
+//! [`reram_nn::LayerWork`] records the plan stores. These bridges guarantee
+//! the PIM and GPU comparisons of Table I price the *same* lowered object.
+
+use super::ExecutionPlan;
+use reram_gpu::{GpuCost, GpuModel};
+
+impl ExecutionPlan {
+    /// GPU cost of one forward (inference) pass of `batch` inputs over this
+    /// plan's layer work.
+    pub fn gpu_forward_cost(&self, gpu: &GpuModel, batch: usize) -> GpuCost {
+        gpu.forward_cost_work(&self.works, batch)
+    }
+
+    /// GPU cost of one training step (forward + backward + weight update)
+    /// of `batch` inputs over this plan's layer work.
+    pub fn gpu_training_cost(&self, gpu: &GpuModel, batch: usize) -> GpuCost {
+        gpu.training_cost_work(&self.works, batch)
+    }
+}
+
+/// GPU cost of one GAN training iteration over the generator's and
+/// discriminator's plans (the three phases of Fig. 8).
+pub fn gpu_gan_training_cost(
+    generator: &ExecutionPlan,
+    discriminator: &ExecutionPlan,
+    gpu: &GpuModel,
+    batch: usize,
+) -> GpuCost {
+    gpu.gan_training_cost_work(&generator.works, &discriminator.works, batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AcceleratorConfig;
+    use reram_nn::models;
+
+    #[test]
+    fn plan_costing_matches_spec_costing() {
+        let net = models::alexnet_spec();
+        let plan = ExecutionPlan::lower(&net, &AcceleratorConfig::default()).expect("lowerable");
+        let gpu = GpuModel::gtx1080();
+        assert_eq!(plan.gpu_forward_cost(&gpu, 16), gpu.forward_cost(&net, 16));
+        assert_eq!(
+            plan.gpu_training_cost(&gpu, 16),
+            gpu.training_cost(&net, 16)
+        );
+    }
+
+    #[test]
+    fn gan_bridge_matches_spec_costing() {
+        let cfg = AcceleratorConfig::default();
+        let g_net = models::dcgan_generator_spec(100, 3, 64);
+        let d_net = models::dcgan_discriminator_spec(3, 64);
+        let g = ExecutionPlan::lower(&g_net, &cfg).expect("lowerable");
+        let d = ExecutionPlan::lower(&d_net, &cfg).expect("lowerable");
+        let gpu = GpuModel::gtx1080();
+        assert_eq!(
+            gpu_gan_training_cost(&g, &d, &gpu, 32),
+            gpu.gan_training_cost(&g_net, &d_net, 32)
+        );
+    }
+}

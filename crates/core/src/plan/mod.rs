@@ -1,0 +1,421 @@
+//! Backend-neutral execution plans — the lowering IR every cost model
+//! consumes.
+//!
+//! [`ExecutionPlan::lower`] turns a [`NetworkSpec`] plus an
+//! [`AcceleratorConfig`] into one per-layer record set ([`LayerPlan`]):
+//! mapped crossbar tile geometry (via [`crate::mapping`]), MVM counts per
+//! training pass (forward / error back-propagation / weight-gradient, paper
+//! §II-A.2), buffer read/write traffic, and per-layer cycle and energy
+//! closed forms. Every downstream consumer derives from this one object:
+//!
+//! * [`crate::timing::NetworkTiming`] copies the plan's aggregates,
+//! * [`crate::pipeline::PipelineModel`] and
+//!   [`crate::regan::ReganPipeline`] take their heterogeneous per-layer
+//!   stage costs from it ([`ExecutionPlan::pipeline_model`],
+//!   [`regan_pipeline`]),
+//! * [`crate::report`] renders its per-layer breakdown from the
+//!   [`LayerPlan`]s,
+//! * the GPU baseline costs the *same* plan through its backend-neutral
+//!   [`reram_nn::LayerWork`] view ([`ExecutionPlan::gpu_forward_cost`]).
+
+mod gpu;
+mod layer;
+
+pub use gpu::gpu_gan_training_cost;
+pub use layer::{adc_conversions, cell_writes, LayerPlan, BYTES_PER_ELEM};
+
+use crate::mapping::{map_network, LayerMapping, MappingError};
+use crate::pipeline::PipelineModel;
+use crate::regan::ReganPipeline;
+use crate::AcceleratorConfig;
+use reram_nn::{LayerWork, NetworkSpec};
+use serde::{Deserialize, Serialize};
+
+/// Why a network could not be lowered to an execution plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PlanError {
+    /// The accelerator configuration failed validation.
+    InvalidConfig(String),
+    /// The network has no weighted layers to map onto crossbars.
+    NoWeightedLayers,
+    /// A layer could not be mapped under the replication policy.
+    Mapping(MappingError),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::InvalidConfig(e) => write!(f, "invalid accelerator config: {e}"),
+            PlanError::NoWeightedLayers => write!(f, "network has no weighted layers"),
+            PlanError::Mapping(e) => write!(f, "cannot map layer: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<MappingError> for PlanError {
+    fn from(e: MappingError) -> Self {
+        PlanError::Mapping(e)
+    }
+}
+
+/// A lowered network: per-weighted-layer [`LayerPlan`]s plus the aggregate
+/// cycle/energy closed forms shared by every backend.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionPlan {
+    /// Network name (from the spec).
+    pub name: String,
+    /// Backend-neutral work of *every* layer, weighted and auxiliary, in
+    /// network order — what the GPU baseline costs.
+    pub works: Vec<LayerWork>,
+    /// Per-weighted-layer lowering records, in network order.
+    pub layers: Vec<LayerPlan>,
+    /// Duration of a forward-only pipeline macro-cycle, ns (slowest stage).
+    pub forward_cycle_ns: f64,
+    /// Duration of a training pipeline macro-cycle, ns (backward stages
+    /// dominate at twice the forward latency).
+    pub training_cycle_ns: f64,
+    /// Duration of the weight-update cycle, ns.
+    pub update_cycle_ns: f64,
+    /// Buffer/memory-subarray energy per input (training), pJ.
+    pub buffer_energy_pj: f64,
+    /// Total physical arrays (including replication and differential pairs).
+    pub total_arrays: usize,
+    /// Total silicon area, mm².
+    pub area_mm2: f64,
+}
+
+impl ExecutionPlan {
+    /// Lowers `net` onto the accelerator described by `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::InvalidConfig`] if the configuration fails
+    /// validation, [`PlanError::Mapping`] if a layer cannot be mapped under
+    /// the replication policy, and [`PlanError::NoWeightedLayers`] if the
+    /// network holds no crossbar-mapped layers.
+    pub fn lower(net: &NetworkSpec, config: &AcceleratorConfig) -> Result<Self, PlanError> {
+        config.validate().map_err(PlanError::InvalidConfig)?;
+        let mappings = map_network(net, config)?;
+        if mappings.is_empty() {
+            return Err(PlanError::NoWeightedLayers);
+        }
+
+        let layers: Vec<LayerPlan> = net
+            .weighted_layers()
+            .zip(mappings)
+            .enumerate()
+            .map(|(i, (spec, m))| LayerPlan::lower(i, spec.work(), m, config))
+            .collect();
+
+        let forward_cycle_ns = layers
+            .iter()
+            .map(|l| l.forward_latency_ns)
+            .fold(0.0, f64::max);
+        let (update_cycle_ns, _) = config.cost.program_cost(&config.crossbar);
+
+        // Buffer traffic per input during training: every weighted layer's
+        // output is written once, read by the next stage, and the stored
+        // forward activation is re-read during backward (3 touches).
+        let activation_elems: f64 = layers.iter().map(|l| l.work.output_elems as f64).sum();
+        let buffer_energy_pj = config
+            .cost
+            .buffer_energy_pj((activation_elems * BYTES_PER_ELEM * 3.0) as u64);
+
+        let total_arrays: usize = layers.iter().map(|l| l.mapping.arrays).sum();
+
+        Ok(Self {
+            name: net.name.clone(),
+            works: net.work(),
+            layers,
+            forward_cycle_ns,
+            training_cycle_ns: 2.0 * forward_cycle_ns,
+            update_cycle_ns,
+            buffer_energy_pj,
+            total_arrays,
+            area_mm2: config.cost.grid_area_um2(total_arrays) / 1e6,
+        })
+    }
+
+    /// Number of weighted (crossbar-mapped) layers.
+    pub fn weighted_layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The per-weighted-layer crossbar mappings, in network order.
+    pub fn mappings(&self) -> Vec<LayerMapping> {
+        self.layers.iter().map(|l| l.mapping).collect()
+    }
+
+    /// Per-weighted-layer forward stage costs in micro-cycles.
+    pub fn stage_cycles(&self) -> Vec<u64> {
+        self.layers.iter().map(|l| l.stage_cycles).collect()
+    }
+
+    /// Crossbar energy of one input's forward pass, pJ (sum over layers).
+    pub fn forward_energy_pj(&self) -> f64 {
+        self.layers.iter().map(|l| l.forward_energy_pj).sum()
+    }
+
+    /// Crossbar energy of one input's backward pass, pJ.
+    pub fn backward_energy_pj(&self) -> f64 {
+        self.layers.iter().map(|l| l.backward_energy_pj).sum()
+    }
+
+    /// Energy to reprogram every weight array once, pJ.
+    pub fn update_energy_pj(&self) -> f64 {
+        self.layers.iter().map(|l| l.update_energy_pj).sum()
+    }
+
+    /// Multiply-accumulates of one input's forward pass, over all layers.
+    pub fn forward_macs(&self) -> u64 {
+        self.works.iter().map(|w| w.forward_macs).sum()
+    }
+
+    /// Multiply-accumulates of one input's full training pass.
+    pub fn training_macs(&self) -> u64 {
+        self.works.iter().map(LayerWork::training_macs).sum()
+    }
+
+    /// A [`PipelineModel`] whose per-layer stage costs are this plan's
+    /// replication-adjusted micro-cycle counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn pipeline_model(&self, batch: usize) -> PipelineModel {
+        PipelineModel::with_stage_cycles(self.stage_cycles(), batch)
+    }
+
+    /// Per-layer forward stage latencies, ns.
+    fn stage_latencies_ns(&self) -> Vec<f64> {
+        self.layers.iter().map(|l| l.forward_latency_ns).collect()
+    }
+
+    fn max_stage_ns(&self) -> f64 {
+        self.stage_latencies_ns().iter().fold(0.0, |a, &b| a.max(b))
+    }
+
+    /// Wall-clock time of pipelined inference of `n` inputs with
+    /// heterogeneous stages: fill (`Σ fᵢ`) plus one initiation interval
+    /// (`max fᵢ`) per additional input, seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn pipelined_inference_time_s(&self, n: u64) -> f64 {
+        assert!(n > 0, "need at least one input");
+        let sum: f64 = self.stage_latencies_ns().iter().sum();
+        (sum + (n - 1) as f64 * self.max_stage_ns()) * 1e-9
+    }
+
+    /// Wall-clock time of non-pipelined inference: each input walks every
+    /// stage alone, seconds.
+    pub fn sequential_inference_time_s(&self, n: u64) -> f64 {
+        let sum: f64 = self.stage_latencies_ns().iter().sum();
+        n as f64 * sum * 1e-9
+    }
+
+    /// Per-input training stage latencies: forward stages, then backward
+    /// stages (each twice its forward counterpart) in reverse order. The
+    /// loss/error-computation stage is peripheral arithmetic, charged 0 ns
+    /// in the wall-clock domain.
+    fn training_stage_latencies_ns(&self) -> Vec<f64> {
+        let fwd = self.stage_latencies_ns();
+        let mut v = fwd.clone();
+        v.extend(fwd.iter().rev().map(|f| 2.0 * f));
+        v
+    }
+
+    /// Wall-clock time of pipelined training of `n` inputs in batches of
+    /// `batch`, seconds: per batch, the training-stage fill plus one
+    /// initiation interval (the slowest backward stage) per remaining
+    /// input, plus the weight-update latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a positive multiple of `batch`.
+    pub fn pipelined_training_time_s(&self, n: u64, batch: usize) -> f64 {
+        assert!(
+            batch > 0 && n > 0 && n.is_multiple_of(batch as u64),
+            "{n} inputs is not a positive multiple of batch {batch}"
+        );
+        let stages = self.training_stage_latencies_ns();
+        let sum: f64 = stages.iter().sum();
+        let max = stages.iter().fold(0.0f64, |a, &b| a.max(b));
+        let per_batch_ns = sum + (batch as u64 - 1) as f64 * max + self.update_cycle_ns;
+        (n / batch as u64) as f64 * per_batch_ns * 1e-9
+    }
+
+    /// Wall-clock time of non-pipelined training: each input walks the full
+    /// training stage sequence alone, one update per batch, seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not a positive multiple of `batch`.
+    pub fn sequential_training_time_s(&self, n: u64, batch: usize) -> f64 {
+        assert!(
+            batch > 0 && n > 0 && n.is_multiple_of(batch as u64),
+            "{n} inputs is not a positive multiple of batch {batch}"
+        );
+        let per_input_ns: f64 = self.training_stage_latencies_ns().iter().sum();
+        (n as f64 * per_input_ns + (n / batch as u64) as f64 * self.update_cycle_ns) * 1e-9
+    }
+}
+
+/// A [`ReganPipeline`] whose per-layer stage costs come from the
+/// discriminator's and generator's execution plans.
+///
+/// A free function rather than a method: the GAN schedule involves two
+/// plans symmetrically, and `regan` itself must stay below `plan` in the
+/// module layering.
+///
+/// # Panics
+///
+/// Panics if `batch` is zero.
+pub fn regan_pipeline(d: &ExecutionPlan, g: &ExecutionPlan, batch: usize) -> ReganPipeline {
+    ReganPipeline::with_stage_cycles(d.stage_cycles(), g.stage_cycles(), batch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::NetworkTiming;
+    use reram_nn::models;
+
+    fn plan(net: &NetworkSpec) -> ExecutionPlan {
+        ExecutionPlan::lower(net, &AcceleratorConfig::default()).expect("lowerable")
+    }
+
+    #[test]
+    fn lowers_lenet() {
+        let p = plan(&models::lenet_spec());
+        assert_eq!(p.layers.len(), 5);
+        assert_eq!(p.layers[0].name, "conv1");
+        assert_eq!(p.layers[4].name, "fc5");
+        assert!(p.forward_cycle_ns > 0.0);
+        assert!(p.total_arrays > 0);
+    }
+
+    #[test]
+    fn aggregates_match_network_timing() {
+        for net in [models::lenet_spec(), models::alexnet_spec()] {
+            let p = plan(&net);
+            let t = NetworkTiming::analyze(&net, &AcceleratorConfig::default());
+            assert_eq!(p.forward_cycle_ns, t.forward_cycle_ns);
+            assert_eq!(p.training_cycle_ns, t.training_cycle_ns);
+            assert_eq!(p.update_cycle_ns, t.update_cycle_ns);
+            assert_eq!(p.forward_energy_pj(), t.forward_energy_pj);
+            assert_eq!(p.backward_energy_pj(), t.backward_energy_pj);
+            assert_eq!(p.buffer_energy_pj, t.buffer_energy_pj);
+            assert_eq!(p.update_energy_pj(), t.update_energy_pj);
+            assert_eq!(p.total_arrays, t.total_arrays);
+            assert_eq!(p.area_mm2, t.area_mm2);
+            assert_eq!(p.mappings(), t.mappings);
+        }
+    }
+
+    #[test]
+    fn mvm_counts_follow_training_passes() {
+        let p = plan(&models::lenet_spec());
+        for l in &p.layers {
+            assert_eq!(l.forward_mvms, l.mapping.mvms_per_input as u64);
+            assert_eq!(l.error_mvms, l.forward_mvms);
+            assert_eq!(l.gradient_mvms, l.forward_mvms);
+            assert_eq!(l.training_mvms(), 3 * l.forward_mvms);
+        }
+    }
+
+    #[test]
+    fn buffer_traffic_is_three_touches_per_output() {
+        let p = plan(&models::lenet_spec());
+        for l in &p.layers {
+            let out_bytes = l.work.output_elems as f64 * BYTES_PER_ELEM;
+            assert_eq!(l.buffer_write_bytes, out_bytes);
+            assert_eq!(l.buffer_read_bytes, 2.0 * out_bytes);
+        }
+    }
+
+    #[test]
+    fn pipeline_model_carries_stage_heterogeneity() {
+        let p = plan(&models::alexnet_spec());
+        let pipe = p.pipeline_model(16);
+        assert_eq!(pipe.layers(), p.layers.len());
+        assert_eq!(pipe.stage_cycles(), p.stage_cycles().as_slice());
+        // AlexNet's layers differ in size, so stages must differ.
+        let s = p.stage_cycles();
+        assert!(
+            s.iter().any(|&c| c != s[0]),
+            "stages unexpectedly uniform: {s:?}"
+        );
+    }
+
+    #[test]
+    fn regan_pipeline_from_two_plans() {
+        let d = plan(&models::dcgan_discriminator_spec(3, 64));
+        let g = plan(&models::dcgan_generator_spec(100, 3, 64));
+        let pipe = regan_pipeline(&d, &g, 32);
+        assert_eq!(pipe.discriminator_layers(), d.layers.len());
+        assert_eq!(pipe.generator_layers(), g.layers.len());
+        assert_eq!(pipe.d_stage_cycles(), d.stage_cycles().as_slice());
+        assert_eq!(pipe.g_stage_cycles(), g.stage_cycles().as_slice());
+    }
+
+    #[test]
+    fn hetero_time_closed_forms() {
+        let p = plan(&models::lenet_spec());
+        let f: Vec<f64> = p.layers.iter().map(|l| l.forward_latency_ns).collect();
+        let sum: f64 = f.iter().sum();
+        let max = f.iter().fold(0.0f64, |a, &b| a.max(b));
+        let got = p.pipelined_inference_time_s(100);
+        let want = (sum + 99.0 * max) * 1e-9;
+        assert!((got - want).abs() < 1e-18);
+        assert!((p.sequential_inference_time_s(100) - 100.0 * sum * 1e-9).abs() < 1e-18);
+        // Pipelined never slower than sequential; training dominated by the
+        // doubled backward stages.
+        assert!(p.pipelined_inference_time_s(100) <= p.sequential_inference_time_s(100));
+        assert!(p.pipelined_training_time_s(128, 32) <= p.sequential_training_time_s(128, 32));
+        assert!(p.pipelined_training_time_s(128, 32) > p.pipelined_inference_time_s(128));
+    }
+
+    #[test]
+    fn plan_rejects_unweighted_network() {
+        let net = NetworkSpec::new(
+            "empty",
+            reram_tensor::Shape4::new(1, 1, 4, 4),
+            vec![reram_nn::LayerSpec::Activation { elems: 16 }],
+        );
+        assert_eq!(
+            ExecutionPlan::lower(&net, &AcceleratorConfig::default()),
+            Err(PlanError::NoWeightedLayers)
+        );
+    }
+
+    #[test]
+    fn plan_rejects_invalid_config() {
+        let cfg = AcceleratorConfig {
+            activity: 7.0,
+            ..AcceleratorConfig::default()
+        };
+        let err = ExecutionPlan::lower(&models::lenet_spec(), &cfg).unwrap_err();
+        assert!(matches!(err, PlanError::InvalidConfig(_)));
+        assert!(err.to_string().contains("invalid accelerator config"));
+    }
+
+    #[test]
+    fn plan_surfaces_mapping_errors() {
+        let cfg = AcceleratorConfig::default()
+            .with_replication(crate::mapping::ReplicationPolicy::Fixed(0));
+        let err = ExecutionPlan::lower(&models::lenet_spec(), &cfg).unwrap_err();
+        assert!(matches!(err, PlanError::Mapping(_)));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = plan(&models::lenet_spec());
+        let json = serde::json::to_string(&p);
+        let back: ExecutionPlan = serde::json::from_str(&json).expect("deserialize");
+        assert_eq!(back, p);
+    }
+}

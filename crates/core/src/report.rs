@@ -1,6 +1,6 @@
 //! Assembly of structured run reports from accelerator analyses.
 //!
-//! Bridges the static analyses of this crate ([`NetworkTiming`], the layer
+//! Bridges the static analyses of this crate ([`crate::timing::NetworkTiming`], the layer
 //! mappings of Fig. 4) and the dynamic counters of `reram-telemetry` into
 //! one serializable [`RunReport`]: per-layer hardware cost from the closed
 //! forms, per-stage timing and raw event totals from whatever recorder the
@@ -9,44 +9,38 @@
 //! must observe exactly the conversion and write counts predicted below.
 
 use crate::mapping::LayerMapping;
-use crate::timing::NetworkTiming;
+use crate::plan::{self, ExecutionPlan, LayerPlan};
 use crate::AcceleratorConfig;
-use reram_nn::{LayerSpec, NetworkSpec};
+use reram_nn::NetworkSpec;
 use reram_telemetry::{CounterRecorder, LayerReport, RunReport};
 
 /// Closed-form I&F/ADC conversions of one forward input through a mapped
-/// layer.
-///
-/// Every MVM walks `input_bits` spike frames; each frame converts every
-/// bitline of every engaged array (`2 · row_tiles · col_tiles` differential
-/// arrays per weight copy). Replication does not change the count: the same
-/// MVMs happen, just spread over more arrays.
+/// layer — delegates to [`plan::adc_conversions`], the lowering pass's
+/// closed form.
 pub fn layer_adc_conversions(mapping: &LayerMapping, config: &AcceleratorConfig) -> u64 {
-    let frames = config.crossbar.input_bits as u64;
-    let cols = config.crossbar.cols as u64;
-    let arrays_per_copy = (2 * mapping.row_tiles * mapping.col_tiles) as u64;
-    mapping.mvms_per_input as u64 * arrays_per_copy * frames * cols
+    plan::adc_conversions(mapping, config)
 }
 
-/// Closed-form cell writes of programming a mapped layer's arrays once.
-///
-/// A full (re)program touches every cell of every physical array, including
-/// replicated copies — the count behind `NetworkTiming::update_energy_pj`
-/// and the per-batch wear unit of `EnduranceReport`.
+/// Closed-form cell writes of programming a mapped layer's arrays once —
+/// delegates to [`plan::cell_writes`], the lowering pass's closed form.
 pub fn layer_cell_writes(mapping: &LayerMapping, config: &AcceleratorConfig) -> u64 {
-    mapping.arrays as u64 * (config.crossbar.rows * config.crossbar.cols) as u64
+    plan::cell_writes(mapping, config)
 }
 
-fn layer_kind(spec: &LayerSpec) -> &'static str {
-    match spec {
-        LayerSpec::Conv { .. } => "conv",
-        LayerSpec::FracConv { .. } => "fracconv",
-        LayerSpec::Fc { .. } => "fc",
-        _ => "layer",
+fn layer_report(l: &LayerPlan) -> LayerReport {
+    LayerReport {
+        name: l.name.clone(),
+        arrays: l.mapping.arrays as u64,
+        mvms_per_input: l.forward_mvms,
+        cycles: l.stage_cycles,
+        adc_conversions: l.adc_conversions,
+        cell_writes: l.cell_writes,
+        energy_pj: l.forward_energy_pj,
     }
 }
 
-/// Per-layer hardware cost breakdown of `net` under `config`.
+/// Per-layer hardware cost breakdown of `net` under `config`, derived from
+/// the network's [`ExecutionPlan`].
 ///
 /// Layers are named by kind and 1-based position among the weighted layers
 /// ("conv1", "fc4", ...), in network order.
@@ -56,20 +50,10 @@ fn layer_kind(spec: &LayerSpec) -> &'static str {
 /// Panics if the network has no weighted layers or the configuration is
 /// invalid.
 pub fn layer_reports(net: &NetworkSpec, config: &AcceleratorConfig) -> Vec<LayerReport> {
-    let timing = NetworkTiming::analyze(net, config);
-    net.weighted_layers()
-        .zip(&timing.mappings)
-        .enumerate()
-        .map(|(i, (spec, m))| LayerReport {
-            name: format!("{}{}", layer_kind(spec), i + 1),
-            arrays: m.arrays as u64,
-            mvms_per_input: m.mvms_per_input as u64,
-            cycles: m.steps_per_input as u64,
-            adc_conversions: layer_adc_conversions(m, config),
-            cell_writes: layer_cell_writes(m, config),
-            energy_pj: m.forward_energy_pj(),
-        })
-        .collect()
+    let plan = ExecutionPlan::lower(net, config)
+        // lint:allow(panic) documented contract — unliftable networks abort reporting
+        .unwrap_or_else(|e| panic!("cannot plan {}: {e}", net.name));
+    plan.layers.iter().map(layer_report).collect()
 }
 
 /// Builds a [`RunReport`] for one artifact: the per-layer closed-form
@@ -97,6 +81,7 @@ pub fn build_run_report(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::timing::NetworkTiming;
     use reram_nn::models;
     use reram_telemetry::Recorder;
 

@@ -281,6 +281,49 @@ impl Bank {
                 self.memory[dst_mem] = out;
                 None
             }
+            Instruction::MaxPool {
+                src_mem,
+                dst_mem,
+                c,
+                k,
+                stride,
+                in_h,
+                in_w,
+            } => {
+                let input = self.memory[src_mem].clone();
+                assert!(
+                    k > 0 && stride > 0 && in_h >= k && in_w >= k,
+                    "max_pool window {k} stride {stride} does not fit {in_h}x{in_w}"
+                );
+                assert_eq!(
+                    input.len(),
+                    c * in_h * in_w,
+                    "max_pool: memory subarray holds {} elements, not {c}x{in_h}x{in_w}",
+                    input.len()
+                );
+                self.stats.mem_traffic += input.len() as u64;
+                let oh = (in_h - k) / stride + 1;
+                let ow = (in_w - k) / stride + 1;
+                let mut out = vec![0.0f32; c * oh * ow];
+                for ci in 0..c {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut best = f32::NEG_INFINITY;
+                            for ky in 0..k {
+                                for kx in 0..k {
+                                    let iy = oy * stride + ky;
+                                    let ix = ox * stride + kx;
+                                    best = best.max(input[(ci * in_h + iy) * in_w + ix]);
+                                }
+                            }
+                            out[(ci * oh + oy) * ow + ox] = best;
+                        }
+                    }
+                }
+                self.stats.mem_traffic += out.len() as u64;
+                self.memory[dst_mem] = out;
+                None
+            }
             Instruction::StoreBuffer { src_mem } => {
                 let data = self.memory[src_mem].clone();
                 self.stats.buffer_traffic += data.len() as u64;
@@ -498,6 +541,34 @@ mod tests {
         }
         // program_training counts as two grid programs.
         assert_eq!(bank.stats().programs, 2);
+    }
+
+    #[test]
+    fn bank_max_pools_a_stored_tensor() {
+        // Two 4x4 channels, 2x2 non-overlapping pooling.
+        let ch0 = vec![
+            1.0, 2.0, 5.0, 6.0, //
+            3.0, 4.0, 7.0, 8.0, //
+            -1.0, -2.0, 0.0, 0.5, //
+            -3.0, -4.0, 0.25, 0.75,
+        ];
+        let ch1: Vec<f32> = ch0.iter().map(|v| -v).collect();
+        let data: Vec<f32> = ch0.iter().chain(&ch1).copied().collect();
+        let mut bank = Bank::new(1, 2, &config());
+        let out = bank.run(vec![
+            Instruction::LoadMem { mem: 0, data },
+            Instruction::MaxPool {
+                src_mem: 0,
+                dst_mem: 1,
+                c: 2,
+                k: 2,
+                stride: 2,
+                in_h: 4,
+                in_w: 4,
+            },
+            Instruction::ReadMem { mem: 1 },
+        ]);
+        assert_eq!(out[0], vec![4.0, 8.0, -1.0, 0.75, -1.0, -5.0, 4.0, 0.0]);
     }
 
     #[test]

@@ -8,14 +8,11 @@
 //! accumulation — so they weigh twice the forward stage. The weight-update
 //! cycle's duration is the array reprogramming time.
 
-use crate::mapping::{map_network, LayerMapping};
+use crate::mapping::LayerMapping;
+use crate::plan::{ExecutionPlan, PlanError};
 use crate::AcceleratorConfig;
 use reram_nn::NetworkSpec;
 use serde::{Deserialize, Serialize};
-
-/// Bytes per activation element moving through memory subarrays (16-bit
-/// fixed point, matching the default crossbar input precision).
-const BYTES_PER_ELEM: f64 = 2.0;
 
 /// Energy of a training run split by where it is spent.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -70,53 +67,34 @@ impl NetworkTiming {
     /// Panics if the network has no weighted layers or the configuration is
     /// invalid.
     pub fn analyze(net: &NetworkSpec, config: &AcceleratorConfig) -> Self {
-        config
-            .validate()
+        match ExecutionPlan::lower(net, config) {
+            Ok(plan) => Self::from_plan(&plan),
             // lint:allow(panic) documented contract — invalid configs abort analysis
-            .unwrap_or_else(|e| panic!("invalid accelerator config: {e}"));
-        let mappings = map_network(net, config)
+            Err(PlanError::InvalidConfig(e)) => panic!("invalid accelerator config: {e}"),
             // lint:allow(panic) documented contract — degenerate policy aborts analysis
-            .unwrap_or_else(|e| panic!("cannot map {}: {e}", net.name));
-        assert!(
-            !mappings.is_empty(),
-            "network {} has no weighted layers",
-            net.name
-        );
+            Err(PlanError::Mapping(e)) => panic!("cannot map {}: {e}", net.name),
+            Err(PlanError::NoWeightedLayers) => {
+                // lint:allow(panic) documented contract — nothing to analyze
+                panic!("network {} has no weighted layers", net.name)
+            }
+        }
+    }
 
-        let forward_cycle_ns = mappings
-            .iter()
-            .map(LayerMapping::stage_latency_ns)
-            .fold(0.0, f64::max);
-        // Backward: error MVM + weight-gradient accumulation = 2 MVM groups.
-        let training_cycle_ns = 2.0 * forward_cycle_ns;
-
-        let (update_latency, _) = config.cost.program_cost(&config.crossbar);
-        let forward_energy_pj: f64 = mappings.iter().map(LayerMapping::forward_energy_pj).sum();
-        let backward_energy_pj = 2.0 * forward_energy_pj;
-
-        // Buffer traffic per input during training: every weighted layer's
-        // output is written once, read by the next stage, and the stored
-        // forward activation is re-read during backward (3 touches).
-        let activation_elems: f64 = net.weighted_layers().map(|l| l.output_elems() as f64).sum();
-        let buffer_energy_pj = config
-            .cost
-            .buffer_energy_pj((activation_elems * BYTES_PER_ELEM * 3.0) as u64);
-
-        let total_arrays: usize = mappings.iter().map(|m| m.arrays).sum();
-        let (_, program_energy_per_array) = config.cost.program_cost(&config.crossbar);
-        let update_energy_pj = total_arrays as f64 * program_energy_per_array;
-
+    /// Builds the timing summary from an already-lowered execution plan —
+    /// the aggregates are copied verbatim, so `analyze` and
+    /// `ExecutionPlan::lower` + `from_plan` are bit-identical.
+    pub fn from_plan(plan: &ExecutionPlan) -> Self {
         Self {
-            mappings,
-            forward_cycle_ns,
-            training_cycle_ns,
-            update_cycle_ns: update_latency,
-            forward_energy_pj,
-            backward_energy_pj,
-            buffer_energy_pj,
-            update_energy_pj,
-            total_arrays,
-            area_mm2: config.cost.grid_area_um2(total_arrays) / 1e6,
+            mappings: plan.mappings(),
+            forward_cycle_ns: plan.forward_cycle_ns,
+            training_cycle_ns: plan.training_cycle_ns,
+            update_cycle_ns: plan.update_cycle_ns,
+            forward_energy_pj: plan.forward_energy_pj(),
+            backward_energy_pj: plan.backward_energy_pj(),
+            buffer_energy_pj: plan.buffer_energy_pj,
+            update_energy_pj: plan.update_energy_pj(),
+            total_arrays: plan.total_arrays,
+            area_mm2: plan.area_mm2,
         }
     }
 

@@ -14,7 +14,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use reram_nn::{LayerSpec, NetworkSpec};
+use reram_nn::{LayerWork, NetworkSpec};
 use serde::{Deserialize, Serialize};
 
 /// Analytical GPU device model.
@@ -92,24 +92,22 @@ enum Pass {
 }
 
 impl GpuModel {
-    fn layer_cost(&self, layer: &LayerSpec, batch: usize, pass: Pass) -> GpuCost {
+    /// Roofline cost of one pass of one lowered layer: compute time versus
+    /// memory time, whichever dominates, plus a kernel launch.
+    fn work_cost(&self, work: &LayerWork, batch: usize, pass: Pass) -> GpuCost {
         let b = batch as f64;
-        let macs = layer.forward_macs() as f64 * b;
-        // 1 MAC = 2 FLOPs; backward does the data-gradient and (for
-        // weighted layers) the weight-gradient product.
-        let flops = match pass {
-            Pass::Forward => 2.0 * macs,
-            Pass::Backward => {
-                if layer.is_weighted() {
-                    4.0 * macs
-                } else {
-                    2.0 * macs
-                }
-            }
-        };
-        // Traffic: weights once per pass + activations in/out per example.
-        let out_elems = layer.output_elems() as f64 * b;
-        let weight_elems = layer.weight_count() as f64;
+        // 1 MAC = 2 FLOPs; the backward volume (error product + weight
+        // gradient) is already folded into the lowered work quantities.
+        let macs = match pass {
+            Pass::Forward => work.forward_macs as f64,
+            Pass::Backward => work.backward_macs() as f64,
+        } * b;
+        let flops = 2.0 * macs;
+        // Traffic: weights once per pass + activations in/out per example;
+        // backward re-reads the stored forward activations and streams the
+        // gradient tensors alongside.
+        let out_elems = work.output_elems as f64 * b;
+        let weight_elems = work.weight_elems as f64;
         let traffic_elems = match pass {
             Pass::Forward => weight_elems + 2.0 * out_elems,
             Pass::Backward => weight_elems * 2.0 + 4.0 * out_elems,
@@ -124,50 +122,68 @@ impl GpuModel {
         }
     }
 
-    /// Cost of one forward (inference) pass of a whole network on a batch.
-    pub fn forward_cost(&self, net: &NetworkSpec, batch: usize) -> GpuCost {
+    /// Cost of one forward (inference) pass over lowered layer work.
+    ///
+    /// This is the primitive `reram_core::plan::ExecutionPlan` prices its
+    /// GPU baseline with, guaranteeing both backends cost identical work.
+    pub fn forward_cost_work(&self, works: &[LayerWork], batch: usize) -> GpuCost {
         let mut total = GpuCost::default();
-        for l in &net.layers {
-            total.add(self.layer_cost(l, batch, Pass::Forward));
+        for w in works {
+            total.add(self.work_cost(w, batch, Pass::Forward));
         }
         total
+    }
+
+    /// Cost of one full training step (forward + backward + update) over
+    /// lowered layer work.
+    pub fn training_cost_work(&self, works: &[LayerWork], batch: usize) -> GpuCost {
+        let mut total = self.forward_cost_work(works, batch);
+        for w in works {
+            total.add(self.work_cost(w, batch, Pass::Backward));
+        }
+        total.add(self.weight_update_cost(works.iter().map(|w| w.weight_elems).sum()));
+        total
+    }
+
+    /// Weight update: stream all weights + gradients + momenta once.
+    fn weight_update_cost(&self, weight_elems: u64) -> GpuCost {
+        let weight_bytes = weight_elems as f64 * self.bytes_per_elem * 3.0;
+        let t = weight_bytes / (self.mem_bandwidth * self.bandwidth_efficiency);
+        GpuCost {
+            time_s: t,
+            energy_j: t * self.busy_power_w,
+        }
+    }
+
+    /// Cost of one forward (inference) pass of a whole network on a batch.
+    pub fn forward_cost(&self, net: &NetworkSpec, batch: usize) -> GpuCost {
+        self.forward_cost_work(&net.work(), batch)
     }
 
     /// Cost of one full training step (forward + backward + update) of a
     /// network on a batch.
     pub fn training_cost(&self, net: &NetworkSpec, batch: usize) -> GpuCost {
-        let mut total = self.forward_cost(net, batch);
-        for l in &net.layers {
-            total.add(self.layer_cost(l, batch, Pass::Backward));
-        }
-        // Weight update: stream all weights + gradients once.
-        let weight_bytes = net.total_weights() as f64 * self.bytes_per_elem * 3.0;
-        let t = weight_bytes / (self.mem_bandwidth * self.bandwidth_efficiency);
-        total.add(GpuCost {
-            time_s: t,
-            energy_j: t * self.busy_power_w,
-        });
-        total
+        self.training_cost_work(&net.work(), batch)
     }
 
-    /// Cost of one GAN training step on a batch (the three phases of the
-    /// paper's Fig. 8): D on real, D on generated (G forward included), and
-    /// G's update through a fixed D.
-    pub fn gan_training_cost(
+    /// Cost of one GAN training step over lowered generator/discriminator
+    /// work (the three phases of the paper's Fig. 8): D on real, D on
+    /// generated (G forward included), and G's update through a fixed D.
+    pub fn gan_training_cost_work(
         &self,
-        generator: &NetworkSpec,
-        discriminator: &NetworkSpec,
+        generator: &[LayerWork],
+        discriminator: &[LayerWork],
         batch: usize,
     ) -> GpuCost {
-        let d_fwd = self.forward_cost(discriminator, batch);
-        let g_fwd = self.forward_cost(generator, batch);
+        let d_fwd = self.forward_cost_work(discriminator, batch);
+        let g_fwd = self.forward_cost_work(generator, batch);
         let mut d_bwd = GpuCost::default();
-        for l in &discriminator.layers {
-            d_bwd.add(self.layer_cost(l, batch, Pass::Backward));
+        for w in discriminator {
+            d_bwd.add(self.work_cost(w, batch, Pass::Backward));
         }
         let mut g_bwd = GpuCost::default();
-        for l in &generator.layers {
-            g_bwd.add(self.layer_cost(l, batch, Pass::Backward));
+        for w in generator {
+            g_bwd.add(self.work_cost(w, batch, Pass::Backward));
         }
         let mut total = GpuCost::default();
         // ① D on real: D fwd + D bwd.
@@ -183,22 +199,30 @@ impl GpuModel {
         total.add(d_bwd);
         total.add(g_bwd);
         // Two weight updates (D and G).
-        let weight_bytes = (generator.total_weights() + discriminator.total_weights()) as f64
-            * self.bytes_per_elem
-            * 3.0;
-        let t = weight_bytes / (self.mem_bandwidth * self.bandwidth_efficiency);
-        total.add(GpuCost {
-            time_s: t,
-            energy_j: t * self.busy_power_w,
-        });
+        let weight_elems: u64 = generator
+            .iter()
+            .chain(discriminator)
+            .map(|w| w.weight_elems)
+            .sum();
+        total.add(self.weight_update_cost(weight_elems));
         total
+    }
+
+    /// Cost of one GAN training step on a batch, from network specs.
+    pub fn gan_training_cost(
+        &self,
+        generator: &NetworkSpec,
+        discriminator: &NetworkSpec,
+        batch: usize,
+    ) -> GpuCost {
+        self.gan_training_cost_work(&generator.work(), &discriminator.work(), batch)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use reram_nn::models;
+    use reram_nn::{models, LayerSpec};
 
     #[test]
     fn training_costs_more_than_inference() {
@@ -296,6 +320,21 @@ mod tests {
         let gan = gpu.gan_training_cost(&g, &d, 32);
         let d_fwd = gpu.forward_cost(&d, 32);
         assert!(gan.time_s >= 3.0 * d_fwd.time_s);
+    }
+
+    #[test]
+    fn spec_and_work_costing_agree() {
+        // The NetworkSpec conveniences are thin wrappers over the lowered
+        // LayerWork path — pricing the same plan must give the same cost.
+        let gpu = GpuModel::gtx1080();
+        let net = models::alexnet_spec();
+        let works = net.work();
+        let f = gpu.forward_cost(&net, 16);
+        let fw = gpu.forward_cost_work(&works, 16);
+        assert_eq!(f, fw);
+        let t = gpu.training_cost(&net, 16);
+        let tw = gpu.training_cost_work(&works, 16);
+        assert_eq!(t, tw);
     }
 
     #[test]

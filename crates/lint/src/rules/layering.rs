@@ -11,8 +11,15 @@
 //! `reram_*` paths in non-test source (a `use` back-edge would not compile
 //! without the manifest edge, but checking both catches a manifest edit
 //! that sneaks an edge in "temporarily").
+//!
+//! Inside `reram-core` — the only crate with enough internal structure to
+//! grow cycles of its own — the rule additionally enforces a module-level
+//! allowed-edges table: every `crate::<module>` reference in non-test code
+//! must be a sanctioned edge in [`CORE_MODULE_EDGES`] (self-edges and the
+//! crate root `lib.rs` are exempt). New intra-core dependencies are
+//! therefore a reviewed one-line table change, not an accident.
 
-use crate::workspace::Workspace;
+use crate::workspace::{CrateInfo, Workspace};
 use crate::Diagnostic;
 
 /// Layer rank of every first-party crate. Lower = closer to the bottom of
@@ -33,6 +40,55 @@ pub const LAYERS: &[(&str, u32)] = &[
 /// Crates outside the dependency stack: no first-party edges in or out.
 pub const TOOL_CRATES: &[&str] = &["reram-lint"];
 
+/// The crate whose internal module graph is table-enforced.
+pub const CORE_CRATE: &str = "reram-core";
+
+/// Top-level modules of `reram-core`. A `crate::<ident>` reference is only
+/// treated as a module edge when `<ident>` appears here, so re-exported
+/// types addressed through the crate root stay exempt.
+pub const CORE_MODULES: &[&str] = &[
+    "accelerator",
+    "chip",
+    "compiler",
+    "config",
+    "endurance",
+    "isa",
+    "mapping",
+    "pipeline",
+    "plan",
+    "regan",
+    "report",
+    "subarray",
+    "timing",
+];
+
+/// Sanctioned `(from, to)` module edges inside `reram-core`. The plan IR
+/// is the hub: `plan` lowers specs onto `mapping` and hands stage vectors
+/// to `pipeline`/`regan`, while `timing`, `report` and `accelerator`
+/// consume the lowered plan instead of re-walking the spec.
+pub const CORE_MODULE_EDGES: &[(&str, &str)] = &[
+    ("accelerator", "pipeline"),
+    ("accelerator", "plan"),
+    ("accelerator", "regan"),
+    ("accelerator", "timing"),
+    ("chip", "mapping"),
+    ("chip", "timing"),
+    ("compiler", "isa"),
+    ("compiler", "subarray"),
+    ("config", "mapping"),
+    ("endurance", "timing"),
+    ("plan", "mapping"),
+    ("plan", "pipeline"),
+    ("plan", "regan"),
+    ("regan", "pipeline"),
+    ("report", "mapping"),
+    ("report", "plan"),
+    ("report", "timing"),
+    ("subarray", "isa"),
+    ("timing", "mapping"),
+    ("timing", "plan"),
+];
+
 const RULE: &str = "layering";
 
 fn rank(name: &str) -> Option<u32> {
@@ -41,6 +97,62 @@ fn rank(name: &str) -> Option<u32> {
 
 fn is_tool(name: &str) -> bool {
     TOOL_CRATES.contains(&name)
+}
+
+/// Top-level module a core source file belongs to, derived from its path:
+/// `crates/core/src/<mod>.rs` and `crates/core/src/<mod>/...` both map to
+/// `<mod>`. The crate root and binaries are exempt (they may wire any
+/// modules together).
+fn core_module_of(path: &str) -> Option<&str> {
+    let rest = path.split("/src/").nth(1)?;
+    if rest == "lib.rs" || rest.starts_with("bin/") {
+        return None;
+    }
+    let first = rest.split('/').next()?;
+    Some(first.strip_suffix(".rs").unwrap_or(first))
+}
+
+fn core_edge_allowed(from: &str, to: &str) -> bool {
+    CORE_MODULE_EDGES.iter().any(|&(f, t)| f == from && t == to)
+}
+
+/// Enforces the intra-core module table: every `crate::<module>` path in
+/// non-test code must be a sanctioned edge.
+fn check_core_modules(krate: &CrateInfo) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for file in &krate.files {
+        let Some(own) = core_module_of(&file.path) else {
+            continue;
+        };
+        for (line_no, line) in file.code_lines() {
+            let tokens = crate::scanner::tokenize(line);
+            for w in tokens.windows(4) {
+                if w[0].ident() != Some("crate") || !w[1].is_punct(':') || !w[2].is_punct(':') {
+                    continue;
+                }
+                let Some(target) = w[3].ident() else { continue };
+                if target == own || !CORE_MODULES.contains(&target) {
+                    continue;
+                }
+                if file.allowed(line_no, RULE) {
+                    continue;
+                }
+                if !core_edge_allowed(own, target) {
+                    diags.push(Diagnostic::new(
+                        &file.path,
+                        line_no,
+                        RULE,
+                        format!(
+                            "intra-core edge `{own} -> {target}` is not sanctioned; \
+                             add it to rules::layering::CORE_MODULE_EDGES if the \
+                             direction is intended"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    diags
 }
 
 /// Runs the layering rule over the workspace.
@@ -107,6 +219,11 @@ pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
                     format!("dependency `{dep}` is not in the layering table"),
                 )),
             }
+        }
+
+        // Intra-core module edges (`crate::<module>` in non-test code).
+        if krate.name == CORE_CRATE {
+            diags.extend(check_core_modules(krate));
         }
 
         // Source-path edges (`reram_foo::...` in non-test code).

@@ -79,6 +79,61 @@ fn layering_protects_tool_crate() {
 }
 
 #[test]
+fn layering_flags_unsanctioned_core_module_edge() {
+    // `mapping` is a leaf of the intra-core graph; it reaching up into
+    // `accelerator` is exactly the cycle the module table forbids.
+    let src = "#![forbid(unsafe_code)]\nuse crate::accelerator::PipeLayerAccelerator;\n";
+    let m = manifest("reram-core", &[]);
+    let ws = Workspace::from_sources(&[(
+        "reram-core",
+        &m,
+        &[
+            ("crates/core/src/lib.rs", "#![forbid(unsafe_code)]\n"),
+            ("crates/core/src/mapping.rs", src),
+        ],
+    )]);
+    let diags = check_workspace(&ws);
+    assert!(
+        diags.iter().any(|d| d.rule == "layering"
+            && d.path.ends_with("mapping.rs")
+            && d.line == 2
+            && d.message.contains("mapping -> accelerator")),
+        "expected an intra-core module diagnostic, got: {diags:?}"
+    );
+}
+
+#[test]
+fn layering_accepts_sanctioned_core_module_edges() {
+    // Sanctioned table edges, self-references, the crate root, test code,
+    // and annotated lines must all stay quiet.
+    let plan_src = "#![forbid(unsafe_code)]\n\
+                    use crate::mapping::LayerMapping;\n\
+                    use crate::pipeline::PipelineModel;\n\
+                    pub use crate::plan::layer::LayerPlan;\n";
+    let timing_src = "#![forbid(unsafe_code)]\n\
+                      use crate::plan::ExecutionPlan;\n\
+                      // lint:allow(layering) doc example exercises the report facade\n\
+                      use crate::report::RunReport;\n\
+                      #[cfg(test)]\nmod tests {\n    use crate::accelerator::PipeLayerAccelerator;\n}\n";
+    let root_src = "#![forbid(unsafe_code)]\npub use crate::plan::ExecutionPlan;\n";
+    let m = manifest("reram-core", &[]);
+    let ws = Workspace::from_sources(&[(
+        "reram-core",
+        &m,
+        &[
+            ("crates/core/src/lib.rs", root_src),
+            ("crates/core/src/plan/mod.rs", plan_src),
+            ("crates/core/src/timing.rs", timing_src),
+        ],
+    )]);
+    let diags = check_workspace(&ws);
+    assert!(
+        diags.iter().all(|d| d.rule != "layering"),
+        "sanctioned core module edges must pass: {diags:?}"
+    );
+}
+
+#[test]
 fn units_flags_unsuffixed_float_field_and_const() {
     let src = "#![forbid(unsafe_code)]\n\
                const FRAME_OVERHEAD: f64 = 2.0;\n\

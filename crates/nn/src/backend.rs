@@ -52,6 +52,11 @@ pub enum LinearEngine {
         /// Same, for the transposed grid (the two grids are touched by
         /// different passes, so each tracks staleness independently).
         dirty_t: bool,
+        /// Reprogram operations performed by *previous* lives of this
+        /// engine: a clone drops its live grids (they reprogram lazily) but
+        /// carries the count forward so endurance accounting survives the
+        /// clone-heavy training loops.
+        reprograms_prior: u64,
     },
 }
 
@@ -70,6 +75,7 @@ impl LinearEngine {
             backward_on_crossbar: false,
             dirty: true,
             dirty_t: true,
+            reprograms_prior: 0,
         }
     }
 
@@ -83,6 +89,7 @@ impl LinearEngine {
             backward_on_crossbar: true,
             dirty: true,
             dirty_t: true,
+            reprograms_prior: 0,
         }
     }
 
@@ -112,11 +119,26 @@ impl LinearEngine {
         }
     }
 
-    /// Grid reprogramming operations performed so far (forward grid only).
+    /// Grid reprogramming operations performed by the *live* forward grid
+    /// (resets when the engine is cloned — see [`LinearEngine::reprograms_total`]).
     pub fn reprogram_count(&self) -> u64 {
         match self {
             LinearEngine::Crossbar { tiled: Some(t), .. } => t.reprogram_count(),
             _ => 0,
+        }
+    }
+
+    /// Cumulative forward-grid reprogram operations across the engine's
+    /// whole lineage, *including* lives discarded by [`Clone`]. This is the
+    /// counter endurance accounting should read: cloning a layer (e.g. to
+    /// compare float vs crossbar execution, or to snapshot a model) must not
+    /// silently erase wear already inflicted on the cells.
+    pub fn reprograms_total(&self) -> u64 {
+        match self {
+            LinearEngine::Crossbar {
+                reprograms_prior, ..
+            } => reprograms_prior + self.reprogram_count(),
+            LinearEngine::Float => 0,
         }
     }
 
@@ -207,8 +229,10 @@ impl LinearEngine {
 }
 
 impl Clone for LinearEngine {
-    /// Cloning resets crossbar state (the clone reprograms lazily); the
-    /// configuration and backward mode are preserved.
+    /// Cloning resets *live* crossbar state (the clone reprograms lazily);
+    /// the configuration and backward mode are preserved, and the
+    /// cumulative reprogram count carries over so
+    /// [`LinearEngine::reprograms_total`] is monotone across clones.
     fn clone(&self) -> Self {
         match self {
             LinearEngine::Float => LinearEngine::Float,
@@ -217,11 +241,18 @@ impl Clone for LinearEngine {
                 backward_on_crossbar,
                 ..
             } => {
-                if *backward_on_crossbar {
+                let mut clone = if *backward_on_crossbar {
                     LinearEngine::crossbar_full(config.clone())
                 } else {
                     LinearEngine::crossbar(config.clone())
+                };
+                if let LinearEngine::Crossbar {
+                    reprograms_prior, ..
+                } = &mut clone
+                {
+                    *reprograms_prior = self.reprograms_total();
                 }
+                clone
             }
         }
     }
@@ -298,6 +329,37 @@ mod tests {
         let e = LinearEngine::crossbar(CrossbarConfig::default());
         assert!(e.clone().is_crossbar());
         assert!(!LinearEngine::float().clone().is_crossbar());
+    }
+
+    #[test]
+    fn clone_carries_cumulative_reprogram_count() {
+        let mut e = LinearEngine::crossbar(CrossbarConfig::default());
+        let _ = e.matmul(&x(), &w(), None);
+        e.invalidate();
+        let mut w2 = w();
+        w2.set(0, 0, 3.0);
+        let _ = e.matmul(&x(), &w2, None);
+        assert_eq!(e.reprogram_count(), 1);
+        assert_eq!(e.reprograms_total(), 1);
+
+        let mut c = e.clone();
+        // Live count resets (the clone has no programmed grid yet) but the
+        // cumulative total survives.
+        assert_eq!(c.reprogram_count(), 0);
+        assert_eq!(c.reprograms_total(), 1);
+
+        // Wear inflicted by the clone accumulates on top.
+        let _ = c.matmul(&x(), &w2, None);
+        c.invalidate();
+        let mut w3 = w2.clone();
+        w3.set(1, 1, -2.0);
+        let _ = c.matmul(&x(), &w3, None);
+        assert_eq!(c.reprogram_count(), 1);
+        assert_eq!(c.reprograms_total(), 2);
+
+        // A second-generation clone still sees the whole lineage.
+        assert_eq!(c.clone().reprograms_total(), 2);
+        assert_eq!(LinearEngine::float().reprograms_total(), 0);
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub mod trainer;
 
 pub use gan::{Gan, GanStepStats};
 pub use network::Network;
-pub use spec::{LayerSpec, NetworkSpec};
+pub use spec::{LayerKind, LayerSpec, LayerWork, NetworkSpec};
 pub use trainer::{TrainConfig, TrainHistory, Trainer};
 
 use reram_tensor::{Shape4, Tensor};

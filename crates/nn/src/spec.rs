@@ -8,6 +8,7 @@
 //! we never materialize (see DESIGN.md, substitutions table).
 
 use reram_tensor::Shape4;
+use serde::{Deserialize, Serialize};
 
 /// Geometry of one architecturally visible layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -216,6 +217,107 @@ impl LayerSpec {
     }
 }
 
+/// Coarse layer category carried by [`LayerWork`] so backends can apply
+/// kind-specific cost rules without re-inspecting [`LayerSpec`] fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// Convolution.
+    Conv,
+    /// Fractional-strided convolution.
+    FracConv,
+    /// Fully connected.
+    Fc,
+    /// Pooling.
+    Pool,
+    /// Elementwise activation.
+    Activation,
+    /// Batch normalization.
+    BatchNorm,
+}
+
+/// Backend-neutral per-layer work quantities — the single lowering of a
+/// [`LayerSpec`] that every cost model (ReRAM plan, GPU baseline) prices.
+///
+/// Backward-pass volumes follow PipeLayer §II-A.2: a weighted layer's
+/// backward pass is two MVM groups of the forward volume each (error
+/// back-propagation through `Wᵀ` plus weight-gradient accumulation), an
+/// unweighted layer only routes the error (same volume as forward, no
+/// gradient term) — consistent with the standard 3×/2× training-FLOPs rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LayerWork {
+    /// Layer category.
+    pub kind: LayerKind,
+    /// Whether the layer holds crossbar-mapped weights.
+    pub weighted: bool,
+    /// Multiply-accumulates of one example's forward pass.
+    pub forward_macs: u64,
+    /// MACs of error back-propagation through the layer (`Wᵀ δ` for
+    /// weighted layers, error routing for unweighted ones).
+    pub error_macs: u64,
+    /// MACs of weight-gradient accumulation (zero for unweighted layers).
+    pub gradient_macs: u64,
+    /// Trainable weight elements.
+    pub weight_elems: u64,
+    /// Output elements per batch entry.
+    pub output_elems: u64,
+    /// Forward crossbar MVMs per example (zero for unweighted layers).
+    pub mvms: u64,
+    /// Crossbar weight-matrix rows (unrolled input length; zero if
+    /// unweighted).
+    pub crossbar_rows: u64,
+    /// Crossbar weight-matrix columns (output features; zero if unweighted).
+    pub crossbar_cols: u64,
+}
+
+impl LayerWork {
+    /// Total backward-pass MACs (error + weight gradient).
+    pub fn backward_macs(&self) -> u64 {
+        self.error_macs + self.gradient_macs
+    }
+
+    /// Total training MACs for one example (forward + backward).
+    pub fn training_macs(&self) -> u64 {
+        self.forward_macs + self.backward_macs()
+    }
+}
+
+impl LayerSpec {
+    /// The layer's category.
+    pub fn kind(&self) -> LayerKind {
+        match self {
+            LayerSpec::Conv { .. } => LayerKind::Conv,
+            LayerSpec::FracConv { .. } => LayerKind::FracConv,
+            LayerSpec::Fc { .. } => LayerKind::Fc,
+            LayerSpec::Pool { .. } => LayerKind::Pool,
+            LayerSpec::Activation { .. } => LayerKind::Activation,
+            LayerSpec::BatchNorm { .. } => LayerKind::BatchNorm,
+        }
+    }
+
+    /// Lowers the layer geometry to its backend-neutral work quantities.
+    pub fn work(&self) -> LayerWork {
+        let weighted = self.is_weighted();
+        let forward = self.forward_macs();
+        let (rows, cols) = self.crossbar_matrix().unwrap_or((0, 0));
+        LayerWork {
+            kind: self.kind(),
+            weighted,
+            forward_macs: forward,
+            error_macs: forward,
+            gradient_macs: if weighted { forward } else { 0 },
+            weight_elems: self.weight_count() as u64,
+            output_elems: self.output_elems() as u64,
+            mvms: if weighted {
+                self.mvm_count().unwrap_or(0) as u64
+            } else {
+                0
+            },
+            crossbar_rows: rows as u64,
+            crossbar_cols: cols as u64,
+        }
+    }
+}
+
 /// A whole network's geometry: ordered layer specs plus the input shape.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetworkSpec {
@@ -253,6 +355,12 @@ impl NetworkSpec {
         self.layers.iter().map(|l| l.weight_count() as u64).sum()
     }
 
+    /// Lowers every layer to its backend-neutral [`LayerWork`] — the one
+    /// spec walk all cost models share (see `reram_core::plan`).
+    pub fn work(&self) -> Vec<LayerWork> {
+        self.layers.iter().map(LayerSpec::work).collect()
+    }
+
     /// Total forward multiply-accumulates for one example.
     pub fn forward_macs(&self) -> u64 {
         self.layers.iter().map(LayerSpec::forward_macs).sum()
@@ -264,16 +372,7 @@ impl NetworkSpec {
     /// gradient, each the same volume as the forward pass) — the standard
     /// 3× rule for training FLOPs.
     pub fn training_macs(&self) -> u64 {
-        self.layers
-            .iter()
-            .map(|l| {
-                if l.is_weighted() {
-                    3 * l.forward_macs()
-                } else {
-                    2 * l.forward_macs()
-                }
-            })
-            .sum()
+        self.work().iter().map(LayerWork::training_macs).sum()
     }
 }
 
@@ -379,6 +478,61 @@ mod tests {
         assert_eq!(spec.weighted_layer_count(), 2);
         assert_eq!(spec.total_weights(), (4 * 9 + 64 * 10) as u64);
         assert!(spec.training_macs() > 2 * spec.forward_macs());
+    }
+
+    #[test]
+    fn layer_work_lowering_is_consistent() {
+        let conv = paper_conv().work();
+        assert_eq!(conv.kind, LayerKind::Conv);
+        assert!(conv.weighted);
+        assert_eq!(conv.forward_macs, paper_conv().forward_macs());
+        assert_eq!(conv.error_macs, conv.forward_macs);
+        assert_eq!(conv.gradient_macs, conv.forward_macs);
+        assert_eq!(conv.mvms, 12544);
+        assert_eq!((conv.crossbar_rows, conv.crossbar_cols), (1152, 256));
+
+        let pool = LayerSpec::Pool {
+            c: 16,
+            k: 2,
+            stride: 2,
+            in_h: 8,
+            in_w: 8,
+        }
+        .work();
+        assert!(!pool.weighted);
+        assert_eq!(pool.gradient_macs, 0);
+        assert_eq!(pool.mvms, 0);
+        assert_eq!(pool.backward_macs(), pool.forward_macs);
+    }
+
+    #[test]
+    fn network_work_matches_mac_walks() {
+        let spec = NetworkSpec::new(
+            "toy",
+            Shape4::new(1, 1, 8, 8),
+            vec![
+                LayerSpec::Conv {
+                    in_c: 1,
+                    out_c: 4,
+                    k: 3,
+                    stride: 1,
+                    pad: 1,
+                    in_h: 8,
+                    in_w: 8,
+                },
+                LayerSpec::Activation { elems: 256 },
+                LayerSpec::Fc {
+                    in_features: 256,
+                    out_features: 10,
+                },
+            ],
+        );
+        let work = spec.work();
+        assert_eq!(work.len(), spec.layers.len());
+        let fwd: u64 = work.iter().map(|w| w.forward_macs).sum();
+        assert_eq!(fwd, spec.forward_macs());
+        let train: u64 = work.iter().map(LayerWork::training_macs).sum();
+        assert_eq!(train, spec.training_macs());
     }
 
     #[test]

@@ -114,7 +114,8 @@ fn main() {
             ),
         ],
         &CrossbarConfig::default(),
-    );
+    )
+    .expect("layer stack compiles");
     let input: Vec<f32> = (0..8).map(|i| (i % 5) as f32 / 5.0 - 0.4).collect();
     let got = mlp.infer(&input);
     let want = mlp.infer_exact(&input);
@@ -146,7 +147,8 @@ fn main() {
             ),
         ],
         &CrossbarConfig::default(),
-    );
+    )
+    .expect("layer stack compiles");
     let x = [0.4f32, -0.2, 0.1, 0.3];
     let target = [0.5f32, -0.25];
     for step in 0..20 {

@@ -50,6 +50,9 @@ fi
 echo "== reram-lint (architectural invariants) =="
 cargo run --offline -q -p reram-lint || status=1
 
+echo "== cargo build --examples =="
+cargo build --offline -q --examples || status=1
+
 if rustdoc --version >/dev/null 2>&1; then
     echo "== cargo doc -D warnings =="
     pkg_flags=()

@@ -103,7 +103,8 @@ fn compiled_bank_program_matches_functional_network() {
             FcStage::new(w2, None),
         ],
         &CrossbarConfig::default(),
-    );
+    )
+    .expect("layer stack compiles");
 
     let x: Vec<f32> = (0..6).map(|i| (i as f32) / 6.0 - 0.4).collect();
     let bank_out = compiled.infer(&x);
