@@ -6,7 +6,11 @@
 //! cargo run -p reram-bench --bin repro --release -- --json out.json
 //! ```
 //!
-//! Artifacts: `fig3 fig4 fig5 fig7 fig8 fig9 table1 plan ablations`.
+//! Artifacts: `fig3 fig4 fig5 fig7 fig8 fig9 table1 plan ablations serve`.
+//!
+//! The `serve` artifact additionally writes `BENCH_serve.json` next to the
+//! current directory: p99 latency and throughput for every scheduling
+//! policy at every swept arrival rate, for machine comparison across runs.
 //!
 //! With `--json <path>`, a telemetry recorder observes the whole run and a
 //! structured [`reram_telemetry::RunReport`] is written to `<path>`: the
@@ -17,7 +21,7 @@
 use std::sync::Arc;
 
 use reram_bench::experiments::{
-    ablations, fig3, fig4, fig5, fig7, fig8, fig9, plan_latency, table1,
+    ablations, fig3, fig4, fig5, fig7, fig8, fig9, plan_latency, serve, table1,
 };
 use reram_core::AcceleratorConfig;
 use reram_nn::models;
@@ -62,6 +66,20 @@ fn run(artifact: &str) -> bool {
             "Analysis: uniform macro-cycles vs per-layer plan latency, AlexNet (E9)",
             plan_latency::run().render(),
         ),
+        "serve" => {
+            section(
+                "Serving: scheduling policies, 4 chips, LeNet+AlexNet mix (E10)",
+                serve::run().render(),
+            );
+            let path = "BENCH_serve.json";
+            match std::fs::write(path, serve::bench_json()) {
+                Ok(()) => eprintln!("wrote serving benchmark to {path}"),
+                Err(e) => {
+                    eprintln!("failed to write {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
         "ablations" => {
             section(
                 "Ablation: spike-code input precision",
@@ -110,7 +128,7 @@ fn run(artifact: &str) -> bool {
 }
 
 fn main() {
-    const ALL: [&str; 9] = [
+    const ALL: [&str; 10] = [
         "fig3",
         "fig4",
         "fig5",
@@ -120,6 +138,7 @@ fn main() {
         "table1",
         "plan",
         "ablations",
+        "serve",
     ];
     let mut artifacts: Vec<String> = Vec::new();
     let mut json_path: Option<String> = None;

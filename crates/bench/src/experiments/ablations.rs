@@ -239,7 +239,9 @@ pub fn chip_plan() -> Table {
             &AcceleratorConfig::default(),
             BankShape::default(),
             32,
-        );
+        )
+        // lint:allow(panic) zoo networks plan under the default config
+        .expect("zoo network plans under default config");
         t.row([
             net.name.clone(),
             p.compute_arrays.to_string(),

@@ -10,4 +10,5 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod plan_latency;
+pub mod serve;
 pub mod table1;

@@ -8,11 +8,45 @@
 //! backward stage consumes them, so the memory region must hold roughly one
 //! activation tensor per stage per in-flight input.
 
-use crate::mapping::map_network;
+use crate::mapping::{map_network, MappingError};
 use crate::timing::NetworkTiming;
 use crate::AcceleratorConfig;
 use reram_nn::NetworkSpec;
 use serde::{Deserialize, Serialize};
+
+/// Why a chip could not be planned for a workload.
+///
+/// The typed counterpart of the asserts this module used to carry — chip
+/// planning sits on user-facing paths (experiments, the serving simulator)
+/// where a bad batch size or a degenerate bank shape should surface as a
+/// recoverable error, matching `CompileError`/`MappingError`/`PlanError`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ChipPlanError {
+    /// The requested training batch size was zero.
+    ZeroBatch,
+    /// The bank shape has no morphable or no memory subarrays.
+    EmptyBank,
+    /// The network could not be mapped under the replication policy.
+    Mapping(MappingError),
+}
+
+impl std::fmt::Display for ChipPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChipPlanError::ZeroBatch => write!(f, "batch size must be positive"),
+            ChipPlanError::EmptyBank => write!(f, "bank must contain subarrays"),
+            ChipPlanError::Mapping(e) => write!(f, "cannot map network: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChipPlanError {}
+
+impl From<MappingError> for ChipPlanError {
+    fn from(e: MappingError) -> Self {
+        ChipPlanError::Mapping(e)
+    }
+}
 
 /// Fixed shape of one memory bank.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -65,24 +99,25 @@ const BYTES_PER_ELEM: u64 = 2;
 impl ChipPlan {
     /// Plans a chip for training `net` at batch size `batch`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the configuration is invalid, the network has no weighted
-    /// layers, or `batch == 0`.
+    /// Returns [`ChipPlanError::ZeroBatch`] when `batch == 0`,
+    /// [`ChipPlanError::EmptyBank`] for a bank shape without subarrays, and
+    /// [`ChipPlanError::Mapping`] when the network cannot be mapped under
+    /// the configured replication policy.
     pub fn plan(
         net: &NetworkSpec,
         config: &AcceleratorConfig,
         bank: BankShape,
         batch: usize,
-    ) -> Self {
-        assert!(batch > 0, "batch size must be positive");
-        assert!(
-            bank.morphable_per_bank > 0 && bank.memory_per_bank > 0,
-            "bank must contain subarrays"
-        );
-        let mappings = map_network(net, config)
-            // lint:allow(panic) documented contract — degenerate policy aborts planning
-            .unwrap_or_else(|e| panic!("cannot map {}: {e}", net.name));
+    ) -> Result<Self, ChipPlanError> {
+        if batch == 0 {
+            return Err(ChipPlanError::ZeroBatch);
+        }
+        if bank.morphable_per_bank == 0 || bank.memory_per_bank == 0 {
+            return Err(ChipPlanError::EmptyBank);
+        }
+        let mappings = map_network(net, config)?;
         let timing = NetworkTiming::analyze(net, config);
         let compute_arrays: usize = mappings.iter().map(|m| m.arrays).sum();
         let banks = compute_arrays.div_ceil(bank.morphable_per_bank);
@@ -101,7 +136,7 @@ impl ChipPlan {
         // Peak power: every array active, amortized per MVM.
         let mvm = config.cost.mvm_cost(&config.crossbar, config.activity);
         let per_array_w = mvm.energy_pj() * 1e-12 / (mvm.latency_ns * 1e-9);
-        Self {
+        Ok(Self {
             network: net.name.clone(),
             bank,
             compute_arrays,
@@ -112,7 +147,7 @@ impl ChipPlan {
                 * bank.memory_subarray_bytes,
             array_area_mm2: timing.area_mm2,
             peak_power_w: compute_arrays as f64 * per_array_w,
-        }
+        })
     }
 
     /// Whether the provisioned memory subarrays can hold the pipeline's
@@ -155,6 +190,7 @@ mod tests {
             BankShape::default(),
             batch,
         )
+        .expect("plannable")
     }
 
     #[test]
@@ -209,8 +245,39 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "batch size must be positive")]
     fn rejects_zero_batch() {
-        let _ = plan(&models::lenet_spec(), 0);
+        let err = ChipPlan::plan(
+            &models::lenet_spec(),
+            &AcceleratorConfig::default(),
+            BankShape::default(),
+            0,
+        )
+        .unwrap_err();
+        assert_eq!(err, ChipPlanError::ZeroBatch);
+        assert_eq!(err.to_string(), "batch size must be positive");
+    }
+
+    #[test]
+    fn rejects_empty_bank() {
+        let bank = BankShape {
+            morphable_per_bank: 0,
+            ..BankShape::default()
+        };
+        let err = ChipPlan::plan(
+            &models::lenet_spec(),
+            &AcceleratorConfig::default(),
+            bank,
+            8,
+        )
+        .unwrap_err();
+        assert_eq!(err, ChipPlanError::EmptyBank);
+    }
+
+    #[test]
+    fn surfaces_mapping_errors() {
+        let cfg = AcceleratorConfig::default()
+            .with_replication(crate::mapping::ReplicationPolicy::Fixed(0));
+        let err = ChipPlan::plan(&models::lenet_spec(), &cfg, BankShape::default(), 8).unwrap_err();
+        assert!(matches!(err, ChipPlanError::Mapping(_)));
     }
 }

@@ -63,7 +63,7 @@ pub mod timing;
 mod config;
 
 pub use accelerator::{AccelReport, PipeLayerAccelerator, ReGanAccelerator};
-pub use chip::{BankShape, ChipPlan};
+pub use chip::{BankShape, ChipPlan, ChipPlanError};
 pub use compiler::{CompileError, CompiledMlp, CompiledNetwork, FcStage, NetStage, TrainableMlp};
 pub use config::AcceleratorConfig;
 pub use endurance::{EnduranceClass, EnduranceReport};

@@ -217,6 +217,36 @@ impl ExecutionPlan {
         n as f64 * sum * 1e-9
     }
 
+    /// Service latency of one dynamic batch of `batch` inference inputs,
+    /// nanoseconds: the pipeline fill (`Σ fᵢ`) plus one initiation interval
+    /// (`max fᵢ`) per additional input. This is the closed form the serving
+    /// layer uses to price a batch's occupancy of a chip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn batch_inference_latency_ns(&self, batch: usize) -> f64 {
+        assert!(batch > 0, "need at least one input");
+        self.pipelined_inference_time_s(batch as u64) * 1e9
+    }
+
+    /// Crossbar energy of serving `batch` inference inputs, pJ. Per-input
+    /// forward energies add linearly; batching saves time (pipeline
+    /// amortization), not crossbar switching energy.
+    pub fn batch_forward_energy_pj(&self, batch: usize) -> f64 {
+        batch as f64 * self.forward_energy_pj()
+    }
+
+    /// Buffer/memory-subarray energy of one input's *inference* pass, pJ:
+    /// each weighted layer's output is written once and consumed once (2
+    /// touches), versus 3 touches in training where the backward stage
+    /// re-reads the stored forward activation. The buffer closed form is
+    /// linear in bytes, so the inference share is exactly two thirds of the
+    /// training figure.
+    pub fn inference_buffer_energy_pj(&self) -> f64 {
+        self.buffer_energy_pj * (2.0 / 3.0)
+    }
+
     /// Per-input training stage latencies: forward stages, then backward
     /// stages (each twice its forward counterpart) in reverse order. The
     /// loss/error-computation stage is peripheral arithmetic, charged 0 ns
@@ -377,6 +407,18 @@ mod tests {
         assert!(p.pipelined_inference_time_s(100) <= p.sequential_inference_time_s(100));
         assert!(p.pipelined_training_time_s(128, 32) <= p.sequential_training_time_s(128, 32));
         assert!(p.pipelined_training_time_s(128, 32) > p.pipelined_inference_time_s(128));
+    }
+
+    #[test]
+    fn serving_accessors_follow_closed_forms() {
+        let p = plan(&models::lenet_spec());
+        let f: Vec<f64> = p.layers.iter().map(|l| l.forward_latency_ns).collect();
+        let sum: f64 = f.iter().sum();
+        let max = f.iter().fold(0.0f64, |a, &b| a.max(b));
+        assert!((p.batch_inference_latency_ns(8) - (sum + 7.0 * max)).abs() < 1e-9);
+        assert!((p.batch_inference_latency_ns(1) - sum).abs() < 1e-9);
+        assert_eq!(p.batch_forward_energy_pj(4), 4.0 * p.forward_energy_pj());
+        assert!((p.inference_buffer_energy_pj() - p.buffer_energy_pj * 2.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! The sanctioned dependency direction is
 //! `{tensor, telemetry} → {crossbar, datasets} → nn → gpu → core →
-//! bench → suite`: a crate may depend only on first-party crates in a
+//! serve → bench → suite`: a crate may depend only on first-party crates in a
 //! strictly lower layer, so no back-edges (and no same-layer edges) can
 //! form. `reram-lint` itself is a tool outside the stack: it takes no
 //! first-party dependencies and nothing may depend on it.
@@ -32,8 +32,9 @@ pub const LAYERS: &[(&str, u32)] = &[
     ("reram-nn", 2),
     ("reram-gpu", 3),
     ("reram-core", 4),
-    ("reram-bench", 5),
-    ("reram-suite", 6),
+    ("reram-serve", 5),
+    ("reram-bench", 6),
+    ("reram-suite", 7),
     ("reram-lint", 0),
 ];
 

@@ -1,0 +1,244 @@
+//! A pod of accelerator chips, each wrapping lowered execution plans.
+//!
+//! Every [`Chip`] holds one [`ExecutionPlan`] per catalog model, lowered
+//! for that chip's [`AcceleratorConfig`], plus the runtime state the
+//! schedulers read: when its FIFO dispatch queue drains (`busy_until_ns`),
+//! how many requests are dispatched but not yet completed, and the running
+//! utilization/energy tallies the final report aggregates. Chips serve one
+//! batch at a time in dispatch order — the inter-layer pipeline inside a
+//! chip is already priced into the batch latency closed form, so the
+//! serving layer never re-simulates individual layers.
+
+use reram_core::{AcceleratorConfig, ExecutionPlan};
+use reram_nn::NetworkSpec;
+
+use crate::ServeError;
+
+/// One accelerator chip plus its serving-time state.
+#[derive(Debug, Clone)]
+pub struct Chip {
+    /// Chip index within the cluster.
+    pub id: usize,
+    /// One lowered plan per catalog model.
+    plans: Vec<ExecutionPlan>,
+    /// Simulated time at which the chip's dispatch queue drains.
+    pub busy_until_ns: u64,
+    /// Requests dispatched to this chip and not yet completed.
+    pub queued_requests: usize,
+    /// Accumulated busy (serving) time, nanoseconds.
+    pub busy_ns: u64,
+    /// Requests completed by this chip.
+    pub completed_requests: u64,
+    /// Batches served by this chip.
+    pub batches_served: u64,
+    /// Accumulated crossbar + buffer energy, picojoules.
+    pub energy_pj: f64,
+}
+
+impl Chip {
+    fn new(id: usize, plans: Vec<ExecutionPlan>) -> Self {
+        Self {
+            id,
+            plans,
+            busy_until_ns: 0,
+            queued_requests: 0,
+            busy_ns: 0,
+            completed_requests: 0,
+            batches_served: 0,
+            energy_pj: 0.0,
+        }
+    }
+
+    /// The lowered plan for one catalog model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` is not a catalog index.
+    pub fn plan(&self, model: usize) -> &ExecutionPlan {
+        assert!(model < self.plans.len(), "model {model} not in catalog");
+        &self.plans[model]
+    }
+
+    /// Service latency of one batch of `batch` requests of `model` on this
+    /// chip, simulated nanoseconds (plan fill + initiation intervals,
+    /// rounded up to a whole tick).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` is not a catalog index or `batch` is zero.
+    pub fn batch_service_ns(&self, model: usize, batch: usize) -> u64 {
+        (self.plan(model).batch_inference_latency_ns(batch).ceil() as u64).max(1)
+    }
+
+    /// Energy of serving one batch: per-input forward crossbar energy plus
+    /// the inference share of buffer traffic, picojoules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` is not a catalog index.
+    pub fn batch_energy_pj(&self, model: usize, batch: usize) -> f64 {
+        let plan = self.plan(model);
+        plan.batch_forward_energy_pj(batch) + batch as f64 * plan.inference_buffer_energy_pj()
+    }
+
+    /// Predicted completion time of a batch dispatched now: the chip works
+    /// FIFO, so the batch starts when the queue drains and occupies the
+    /// chip for the plan-priced service latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` is not a catalog index or `batch` is zero.
+    pub fn predicted_completion_ns(&self, now_ns: u64, model: usize, batch: usize) -> u64 {
+        self.busy_until_ns.max(now_ns) + self.batch_service_ns(model, batch)
+    }
+}
+
+/// A cluster of chips serving one model catalog.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    /// The chips, indexed by [`Chip::id`].
+    pub chips: Vec<Chip>,
+    /// Human-readable model names, indexed by catalog position.
+    pub model_names: Vec<String>,
+}
+
+impl Cluster {
+    /// Builds a homogeneous cluster: `n` identical chips, each loaded with
+    /// every catalog model lowered for `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::NoChips`] / [`ServeError::NoModels`] for empty
+    /// inputs and [`ServeError::Plan`] when a model fails to lower.
+    pub fn homogeneous(
+        n: usize,
+        catalog: &[NetworkSpec],
+        config: &AcceleratorConfig,
+    ) -> Result<Self, ServeError> {
+        Self::heterogeneous(&vec![config.clone(); n], catalog)
+    }
+
+    /// Builds a cluster with one [`AcceleratorConfig`] per chip — chips may
+    /// differ in crossbar geometry or replication budget, and each prices
+    /// batches through its own lowered plans.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::NoChips`] / [`ServeError::NoModels`] for empty
+    /// inputs and [`ServeError::Plan`] when a model fails to lower on any
+    /// chip's configuration.
+    pub fn heterogeneous(
+        configs: &[AcceleratorConfig],
+        catalog: &[NetworkSpec],
+    ) -> Result<Self, ServeError> {
+        if configs.is_empty() {
+            return Err(ServeError::NoChips);
+        }
+        if catalog.is_empty() {
+            return Err(ServeError::NoModels);
+        }
+        let mut chips = Vec::with_capacity(configs.len());
+        for (id, config) in configs.iter().enumerate() {
+            let plans = catalog
+                .iter()
+                .map(|net| ExecutionPlan::lower(net, config))
+                .collect::<Result<Vec<_>, _>>()?;
+            chips.push(Chip::new(id, plans));
+        }
+        Ok(Self {
+            chips,
+            model_names: catalog.iter().map(|n| n.name.clone()).collect(),
+        })
+    }
+
+    /// Number of chips.
+    pub fn len(&self) -> usize {
+        self.chips.len()
+    }
+
+    /// Whether the cluster has no chips (never true for a constructed one).
+    pub fn is_empty(&self) -> bool {
+        self.chips.is_empty()
+    }
+
+    /// Number of catalog models each chip serves.
+    pub fn models(&self) -> usize {
+        self.model_names.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reram_nn::models;
+
+    fn cluster() -> Cluster {
+        Cluster::homogeneous(
+            3,
+            &[models::lenet_spec(), models::alexnet_spec()],
+            &AcceleratorConfig::default(),
+        )
+        .expect("buildable")
+    }
+
+    #[test]
+    fn homogeneous_builds_all_chips_and_models() {
+        let c = cluster();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.models(), 2);
+        assert_eq!(c.model_names, vec!["lenet-mnist", "alexnet-imagenet"]);
+        for (i, chip) in c.chips.iter().enumerate() {
+            assert_eq!(chip.id, i);
+            assert_eq!(chip.busy_until_ns, 0);
+            assert_eq!(chip.queued_requests, 0);
+        }
+    }
+
+    #[test]
+    fn batch_pricing_follows_the_plan_closed_forms() {
+        let c = cluster();
+        let chip = &c.chips[0];
+        for model in 0..c.models() {
+            let plan = chip.plan(model);
+            let want = plan.batch_inference_latency_ns(8).ceil() as u64;
+            assert_eq!(chip.batch_service_ns(model, 8), want.max(1));
+            // Batching amortizes: 8 together beat 8 separate dispatches.
+            assert!(8 * chip.batch_service_ns(model, 1) > chip.batch_service_ns(model, 8));
+            let e = chip.batch_energy_pj(model, 4);
+            assert!((e / 4.0 - chip.batch_energy_pj(model, 1)).abs() < 1e-6);
+        }
+        // AlexNet batches cost more than LeNet batches on the same chip.
+        assert!(chip.batch_service_ns(1, 8) > chip.batch_service_ns(0, 8));
+    }
+
+    #[test]
+    fn predicted_completion_respects_fifo_backlog() {
+        let mut c = cluster();
+        let idle = c.chips[0].predicted_completion_ns(1_000, 0, 4);
+        assert_eq!(idle, 1_000 + c.chips[0].batch_service_ns(0, 4));
+        c.chips[0].busy_until_ns = 50_000;
+        let backed_up = c.chips[0].predicted_completion_ns(1_000, 0, 4);
+        assert_eq!(backed_up, 50_000 + c.chips[0].batch_service_ns(0, 4));
+    }
+
+    #[test]
+    fn empty_inputs_are_rejected() {
+        let cfg = AcceleratorConfig::default();
+        assert_eq!(
+            Cluster::homogeneous(0, &[models::lenet_spec()], &cfg).unwrap_err(),
+            ServeError::NoChips
+        );
+        assert_eq!(
+            Cluster::homogeneous(2, &[], &cfg).unwrap_err(),
+            ServeError::NoModels
+        );
+    }
+
+    #[test]
+    fn lowering_errors_surface() {
+        let cfg =
+            AcceleratorConfig::default().with_replication(reram_core::ReplicationPolicy::Fixed(0));
+        let err = Cluster::homogeneous(1, &[models::lenet_spec()], &cfg).unwrap_err();
+        assert!(matches!(err, ServeError::Plan(_)));
+    }
+}

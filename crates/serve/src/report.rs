@@ -1,0 +1,137 @@
+//! The serializable outcome of one serving simulation.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-chip serving statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChipReport {
+    /// Chip id within the cluster.
+    pub chip: usize,
+    /// Requests this chip completed.
+    pub completed_requests: u64,
+    /// Batches this chip served.
+    pub batches_served: u64,
+    /// Fraction of the makespan the chip spent serving, `0..=1`.
+    pub utilization: f64,
+    /// Crossbar + buffer energy this chip spent, microjoules.
+    pub energy_uj: f64,
+}
+
+/// Aggregate result of one serving simulation run.
+///
+/// Produced by [`crate::ServeSim::run`]; fully deterministic for a given
+/// seed and configuration, including its [`ServeReport::to_json`] bytes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Scheduling policy that produced the run.
+    pub policy: String,
+    /// Workload seed.
+    pub seed: u64,
+    /// Requests admitted into the simulation.
+    pub requests_admitted: u64,
+    /// Requests completed (equals admitted when the run drains).
+    pub requests_completed: u64,
+    /// Dynamic batches dispatched.
+    pub batches: u64,
+    /// Mean requests per dispatched batch.
+    pub mean_batch_size: f64,
+    /// Simulated time of the last completion, nanoseconds.
+    pub makespan_ns: u64,
+    /// Completed requests per simulated second.
+    pub throughput_rps: f64,
+    /// Mean request latency (completion − arrival), nanoseconds.
+    pub mean_latency_ns: f64,
+    /// Median request latency, nanoseconds.
+    pub p50_latency_ns: u64,
+    /// 95th-percentile request latency, nanoseconds.
+    pub p95_latency_ns: u64,
+    /// 99th-percentile request latency, nanoseconds.
+    pub p99_latency_ns: u64,
+    /// Worst request latency, nanoseconds.
+    pub max_latency_ns: u64,
+    /// Total energy across chips, microjoules.
+    pub total_energy_uj: f64,
+    /// Per-chip breakdown, indexed by chip id.
+    pub chips: Vec<ChipReport>,
+}
+
+impl ServeReport {
+    /// Serializes to pretty-printed JSON (byte-stable per seed + config).
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Parses a report back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying JSON error on malformed input.
+    pub fn from_json(text: &str) -> Result<Self, serde::Error> {
+        serde::json::from_str(text)
+    }
+
+    /// Mean per-chip utilization, `0..=1`.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.chips.is_empty() {
+            return 0.0;
+        }
+        self.chips.iter().map(|c| c.utilization).sum::<f64>() / self.chips.len() as f64
+    }
+}
+
+/// The `q`-quantile of sorted latencies via the nearest-rank method
+/// (`ceil(q·n)`-th smallest; `q` in `(0, 1]`).
+pub(crate) fn percentile_ns(sorted_latencies_ns: &[u64], q: f64) -> u64 {
+    if sorted_latencies_ns.is_empty() {
+        return 0;
+    }
+    let n = sorted_latencies_ns.len();
+    let rank = (q * n as f64).ceil() as usize;
+    sorted_latencies_ns[rank.clamp(1, n) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let lat: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_ns(&lat, 0.50), 50);
+        assert_eq!(percentile_ns(&lat, 0.95), 95);
+        assert_eq!(percentile_ns(&lat, 0.99), 99);
+        assert_eq!(percentile_ns(&lat, 1.0), 100);
+        assert_eq!(percentile_ns(&[42], 0.99), 42);
+        assert_eq!(percentile_ns(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let report = ServeReport {
+            policy: "plan-cost-aware".into(),
+            seed: 7,
+            requests_admitted: 10,
+            requests_completed: 10,
+            batches: 3,
+            mean_batch_size: 10.0 / 3.0,
+            makespan_ns: 123_456,
+            throughput_rps: 81_000.5,
+            mean_latency_ns: 1_500.25,
+            p50_latency_ns: 1_200,
+            p95_latency_ns: 3_000,
+            p99_latency_ns: 4_500,
+            max_latency_ns: 5_000,
+            total_energy_uj: 12.75,
+            chips: vec![ChipReport {
+                chip: 0,
+                completed_requests: 10,
+                batches_served: 3,
+                utilization: 0.625,
+                energy_uj: 12.75,
+            }],
+        };
+        let back = ServeReport::from_json(&report.to_json()).expect("parse");
+        assert_eq!(back, report);
+        assert!((report.mean_utilization() - 0.625).abs() < 1e-12);
+    }
+}

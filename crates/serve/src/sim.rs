@@ -1,0 +1,434 @@
+//! The deterministic discrete-event loop.
+//!
+//! [`ServeSim`] drains a binary-heap event queue keyed on `(time, seq)` —
+//! simulated nanoseconds plus a monotone sequence number, so simultaneous
+//! events replay in insertion order and two runs of the same seed are
+//! byte-identical. Wall-clock types are lint-banned from this crate; the
+//! only clock is the head of the heap.
+//!
+//! Three event kinds close the loop:
+//!
+//! 1. `Arrival` — a request joins its model's batch queue
+//!    ([`reram_telemetry::Event::RequestEnqueued`]); filling the batch
+//!    dispatches it, opening one schedules a linger deadline.
+//! 2. `BatchDeadline` — the oldest waiter lingered long enough; a partial
+//!    batch dispatches unless the deadline went stale (generation
+//!    mismatch).
+//! 3. `BatchDone` — a chip finished a batch; every request in it completes
+//!    ([`reram_telemetry::Event::RequestCompleted`]) and its latency is
+//!    recorded.
+//!
+//! Dispatch asks the [`Scheduler`] for a chip, charges the chip's FIFO
+//! queue with the plan-priced service latency, and emits
+//! [`reram_telemetry::Event::BatchFormed`].
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use reram_core::AcceleratorConfig;
+use reram_nn::NetworkSpec;
+use reram_telemetry as telemetry;
+use serde::{Deserialize, Serialize};
+
+use crate::batcher::{BatchAction, Batcher, BatcherConfig};
+use crate::cluster::Cluster;
+use crate::report::{percentile_ns, ChipReport, ServeReport};
+use crate::scheduler::{Policy, Scheduler};
+use crate::workload::{generate_requests, ModelMix, Request, TrafficModel};
+use crate::ServeError;
+
+/// What happens at one simulated instant.
+#[derive(Debug, Clone)]
+enum EventKind {
+    /// A request arrives at the serving layer.
+    Arrival(Request),
+    /// A dynamic batch's linger deadline fires.
+    BatchDeadline { model: usize, generation: u64 },
+    /// A chip finishes serving a batch.
+    BatchDone { chip: usize, requests: Vec<Request> },
+}
+
+/// Heap entry ordered by `(at_ns, seq)` only; `seq` is unique per event, so
+/// the ordering is total and consistent with this partial equality.
+#[derive(Debug, Clone)]
+struct HeapEvent {
+    at_ns: u64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for HeapEvent {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at_ns, self.seq) == (other.at_ns, other.seq)
+    }
+}
+
+impl Eq for HeapEvent {}
+
+impl PartialOrd for HeapEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, the simulation needs the
+        // earliest event first.
+        (other.at_ns, other.seq).cmp(&(self.at_ns, self.seq))
+    }
+}
+
+/// Everything a serving simulation needs besides the model catalog and the
+/// chip configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Chips in the (homogeneous) cluster.
+    pub chips: usize,
+    /// Dynamic batching knobs.
+    pub batcher: BatcherConfig,
+    /// Batch placement policy.
+    pub policy: Policy,
+    /// Arrival process.
+    pub traffic: TrafficModel,
+    /// Relative traffic weight per catalog model (must match the catalog
+    /// length; ignored for trace traffic).
+    pub mix: Vec<f64>,
+    /// Arrival horizon, simulated nanoseconds (arrivals stop here; the
+    /// simulation runs on until every admitted request completes).
+    pub horizon_ns: u64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            chips: 4,
+            batcher: BatcherConfig::default(),
+            policy: Policy::PlanCostAware,
+            traffic: TrafficModel::Poisson {
+                rate_rps: 100_000.0,
+            },
+            mix: vec![1.0, 1.0],
+            horizon_ns: 10_000_000,
+            seed: 42,
+        }
+    }
+}
+
+/// A runnable simulation: cluster + batcher + scheduler.
+pub struct ServeSim {
+    cluster: Cluster,
+    batcher: Batcher,
+    scheduler: Box<dyn Scheduler>,
+    seed: u64,
+    queue: BinaryHeap<HeapEvent>,
+    next_seq: u64,
+    latencies_ns: Vec<u64>,
+    admitted: u64,
+    completed: u64,
+    batches: u64,
+}
+
+impl ServeSim {
+    /// Builds a simulation over an existing cluster.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadBatcher`] when `batcher.max_batch` is zero.
+    pub fn new(
+        cluster: Cluster,
+        batcher: BatcherConfig,
+        scheduler: Box<dyn Scheduler>,
+        seed: u64,
+    ) -> Result<Self, ServeError> {
+        if batcher.max_batch == 0 {
+            return Err(ServeError::BadBatcher);
+        }
+        let models = cluster.models();
+        Ok(Self {
+            cluster,
+            batcher: Batcher::new(models, batcher),
+            scheduler,
+            seed,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            latencies_ns: Vec::new(),
+            admitted: 0,
+            completed: 0,
+            batches: 0,
+        })
+    }
+
+    fn push_event(&mut self, at_ns: u64, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(HeapEvent { at_ns, seq, kind });
+    }
+
+    /// Closes a batch: pick a chip, charge its FIFO queue with the
+    /// plan-priced service latency, and schedule the completion.
+    fn dispatch(&mut self, now_ns: u64, requests: Vec<Request>) {
+        debug_assert!(!requests.is_empty(), "batches are never empty");
+        let model = requests[0].model;
+        let batch = requests.len();
+        let id = self.scheduler.pick(&self.cluster, now_ns, model, batch);
+        let chip = &mut self.cluster.chips[id];
+        let service_ns = chip.batch_service_ns(model, batch);
+        let start_ns = chip.busy_until_ns.max(now_ns);
+        let done_ns = start_ns + service_ns;
+        chip.busy_until_ns = done_ns;
+        chip.busy_ns += service_ns;
+        chip.queued_requests += batch;
+        chip.batches_served += 1;
+        chip.energy_pj += chip.batch_energy_pj(model, batch);
+        self.batches += 1;
+        telemetry::record(telemetry::Event::BatchFormed, 1);
+        self.push_event(done_ns, EventKind::BatchDone { chip: id, requests });
+    }
+
+    /// Runs the simulation over a pre-generated arrival sequence until
+    /// every admitted request completes, then reports.
+    pub fn run(mut self, arrivals: Vec<Request>) -> ServeReport {
+        for request in arrivals {
+            self.push_event(request.arrival_ns, EventKind::Arrival(request));
+        }
+        let mut makespan_ns = 0u64;
+        while let Some(event) = self.queue.pop() {
+            let now_ns = event.at_ns;
+            match event.kind {
+                EventKind::Arrival(request) => {
+                    self.admitted += 1;
+                    telemetry::record(telemetry::Event::RequestEnqueued, 1);
+                    match self.batcher.push(request, now_ns) {
+                        BatchAction::Dispatch(batch) => self.dispatch(now_ns, batch),
+                        BatchAction::Deadline {
+                            model,
+                            generation,
+                            deadline_ns,
+                        } => {
+                            self.push_event(
+                                deadline_ns,
+                                EventKind::BatchDeadline { model, generation },
+                            );
+                        }
+                        BatchAction::Wait => {}
+                    }
+                }
+                EventKind::BatchDeadline { model, generation } => {
+                    if let Some(batch) = self.batcher.flush_deadline(model, generation) {
+                        self.dispatch(now_ns, batch);
+                    }
+                }
+                EventKind::BatchDone { chip, requests } => {
+                    let chip = &mut self.cluster.chips[chip];
+                    chip.queued_requests -= requests.len();
+                    chip.completed_requests += requests.len() as u64;
+                    telemetry::record(telemetry::Event::RequestCompleted, requests.len() as u64);
+                    makespan_ns = makespan_ns.max(now_ns);
+                    for request in requests {
+                        self.completed += 1;
+                        self.latencies_ns.push(now_ns - request.arrival_ns);
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(self.batcher.pending(), 0, "every open batch must flush");
+        self.report(makespan_ns)
+    }
+
+    fn report(mut self, makespan_ns: u64) -> ServeReport {
+        self.latencies_ns.sort_unstable();
+        let n = self.latencies_ns.len();
+        let mean_latency_ns = if n == 0 {
+            0.0
+        } else {
+            self.latencies_ns.iter().map(|&l| l as f64).sum::<f64>() / n as f64
+        };
+        let chips: Vec<ChipReport> = self
+            .cluster
+            .chips
+            .iter()
+            .map(|c| ChipReport {
+                chip: c.id,
+                completed_requests: c.completed_requests,
+                batches_served: c.batches_served,
+                utilization: if makespan_ns == 0 {
+                    0.0
+                } else {
+                    c.busy_ns as f64 / makespan_ns as f64
+                },
+                energy_uj: c.energy_pj * 1e-6,
+            })
+            .collect();
+        ServeReport {
+            policy: self.scheduler.name().to_owned(),
+            seed: self.seed,
+            requests_admitted: self.admitted,
+            requests_completed: self.completed,
+            batches: self.batches,
+            mean_batch_size: if self.batches == 0 {
+                0.0
+            } else {
+                self.completed as f64 / self.batches as f64
+            },
+            makespan_ns,
+            throughput_rps: if makespan_ns == 0 {
+                0.0
+            } else {
+                self.completed as f64 / (makespan_ns as f64 * 1e-9)
+            },
+            mean_latency_ns,
+            p50_latency_ns: percentile_ns(&self.latencies_ns, 0.50),
+            p95_latency_ns: percentile_ns(&self.latencies_ns, 0.95),
+            p99_latency_ns: percentile_ns(&self.latencies_ns, 0.99),
+            max_latency_ns: self.latencies_ns.last().copied().unwrap_or(0),
+            total_energy_uj: chips.iter().map(|c| c.energy_uj).sum(),
+            chips,
+        }
+    }
+}
+
+/// One-call entry point: build a homogeneous cluster over `catalog`,
+/// generate the seeded workload, and run it under the configured policy.
+///
+/// # Errors
+///
+/// Propagates every setup error: empty cluster/catalog, bad mix or traffic
+/// parameters, a zero `max_batch`, or a model that fails to lower.
+pub fn simulate(
+    config: &ServeConfig,
+    catalog: &[NetworkSpec],
+    accel: &AcceleratorConfig,
+) -> Result<ServeReport, ServeError> {
+    let cluster = Cluster::homogeneous(config.chips, catalog, accel)?;
+    let mix = ModelMix::new(&config.mix)?;
+    if mix.models() != catalog.len() {
+        return Err(ServeError::BadMix);
+    }
+    let arrivals = generate_requests(&config.traffic, &mix, config.horizon_ns, config.seed)?;
+    let sim = ServeSim::new(
+        cluster,
+        config.batcher,
+        config.policy.scheduler(),
+        config.seed,
+    )?;
+    Ok(sim.run(arrivals))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reram_nn::models;
+
+    fn catalog() -> [NetworkSpec; 2] {
+        [models::lenet_spec(), models::alexnet_spec()]
+    }
+
+    fn config() -> ServeConfig {
+        ServeConfig {
+            chips: 4,
+            traffic: TrafficModel::Poisson {
+                rate_rps: 200_000.0,
+            },
+            mix: vec![0.7, 0.3],
+            horizon_ns: 5_000_000,
+            seed: 11,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn every_request_completes() {
+        let report =
+            simulate(&config(), &catalog(), &AcceleratorConfig::default()).expect("simulates");
+        assert!(report.requests_admitted > 0);
+        assert_eq!(report.requests_completed, report.requests_admitted);
+        assert_eq!(
+            report
+                .chips
+                .iter()
+                .map(|c| c.completed_requests)
+                .sum::<u64>(),
+            report.requests_completed
+        );
+        assert!(report.p50_latency_ns <= report.p95_latency_ns);
+        assert!(report.p95_latency_ns <= report.p99_latency_ns);
+        assert!(report.p99_latency_ns <= report.max_latency_ns);
+        assert!(report.throughput_rps > 0.0);
+        assert!(report.total_energy_uj > 0.0);
+        assert!(report.mean_batch_size >= 1.0);
+    }
+
+    #[test]
+    fn batching_amortizes_under_load() {
+        // At a high arrival rate the size trigger dominates and batches
+        // grow well beyond singletons.
+        let mut cfg = config();
+        cfg.traffic = TrafficModel::Poisson {
+            rate_rps: 2_000_000.0,
+        };
+        let report = simulate(&cfg, &catalog(), &AcceleratorConfig::default()).expect("simulates");
+        assert!(
+            report.mean_batch_size > 4.0,
+            "mean batch {}",
+            report.mean_batch_size
+        );
+    }
+
+    #[test]
+    fn utilization_is_a_fraction_and_energy_adds_up() {
+        let report =
+            simulate(&config(), &catalog(), &AcceleratorConfig::default()).expect("simulates");
+        for chip in &report.chips {
+            assert!((0.0..=1.0).contains(&chip.utilization), "{chip:?}");
+        }
+        let sum: f64 = report.chips.iter().map(|c| c.energy_uj).sum();
+        assert!((sum - report.total_energy_uj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn telemetry_events_flow() {
+        use std::sync::Arc;
+        let counters = Arc::new(telemetry::CounterRecorder::new());
+        let report;
+        {
+            let _guard = telemetry::scoped_recorder(counters.clone());
+            report =
+                simulate(&config(), &catalog(), &AcceleratorConfig::default()).expect("simulates");
+        }
+        assert_eq!(
+            counters.count(telemetry::Event::RequestEnqueued),
+            report.requests_admitted
+        );
+        assert_eq!(
+            counters.count(telemetry::Event::RequestCompleted),
+            report.requests_completed
+        );
+        assert_eq!(
+            counters.count(telemetry::Event::BatchFormed),
+            report.batches
+        );
+    }
+
+    #[test]
+    fn zero_max_batch_is_rejected() {
+        let mut cfg = config();
+        cfg.batcher.max_batch = 0;
+        assert_eq!(
+            simulate(&cfg, &catalog(), &AcceleratorConfig::default()).unwrap_err(),
+            ServeError::BadBatcher
+        );
+    }
+
+    #[test]
+    fn mix_must_match_catalog() {
+        let mut cfg = config();
+        cfg.mix = vec![1.0];
+        assert_eq!(
+            simulate(&cfg, &catalog(), &AcceleratorConfig::default()).unwrap_err(),
+            ServeError::BadMix
+        );
+    }
+}

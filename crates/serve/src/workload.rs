@@ -1,0 +1,366 @@
+//! Seeded workload generators: stationary Poisson, bursty MMPP, and traces.
+//!
+//! A generator turns a [`TrafficModel`] plus a [`ModelMix`] into a sorted
+//! vector of [`Request`]s over a fixed horizon of simulated nanoseconds.
+//! All randomness comes from one seeded [`StdRng`], so a `(traffic, mix,
+//! horizon, seed)` tuple always reproduces the same arrival sequence —
+//! the foundation of the simulator's byte-identical replay guarantee.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::ServeError;
+
+/// One inference request admitted to the serving layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Dense id in arrival order, `0..n`.
+    pub id: u64,
+    /// Index into the model catalog this request targets.
+    pub model: usize,
+    /// Simulated arrival time, nanoseconds.
+    pub arrival_ns: u64,
+}
+
+/// Relative traffic weights over the model catalog.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelMix {
+    /// Cumulative normalized weights, one entry per catalog model; the last
+    /// entry is 1.0.
+    cumulative: Vec<f64>,
+}
+
+impl ModelMix {
+    /// Builds a mix from one non-negative weight per catalog model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadMix`] when `weights` is empty, contains a
+    /// negative or non-finite weight, or sums to zero.
+    pub fn new(weights: &[f64]) -> Result<Self, ServeError> {
+        if weights.is_empty() || weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(ServeError::BadMix);
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(ServeError::BadMix);
+        }
+        let mut acc = 0.0;
+        let cumulative = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Ok(Self { cumulative })
+    }
+
+    /// A mix sending equal traffic to each of `models` catalog entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadMix`] when `models == 0`.
+    pub fn uniform(models: usize) -> Result<Self, ServeError> {
+        Self::new(&vec![1.0; models])
+    }
+
+    /// Number of catalog models the mix covers.
+    pub fn models(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Draws one model index.
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cumulative
+            .iter()
+            .position(|c| u < *c)
+            .unwrap_or(self.cumulative.len() - 1)
+    }
+}
+
+/// How requests arrive over time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TrafficModel {
+    /// Stationary Poisson arrivals: exponential inter-arrival gaps at
+    /// `rate_rps` requests per second.
+    Poisson {
+        /// Mean arrival rate, requests per second.
+        rate_rps: f64,
+    },
+    /// Two-state Markov-modulated Poisson process: the source alternates
+    /// between a base state and a burst state, each with exponentially
+    /// distributed dwell times, emitting Poisson arrivals at the state's
+    /// rate. Models flash crowds and diurnal spikes.
+    Bursty {
+        /// Arrival rate in the base state, requests per second.
+        base_rps: f64,
+        /// Arrival rate in the burst state, requests per second.
+        burst_rps: f64,
+        /// Mean dwell time in the base state, nanoseconds.
+        mean_base_ns: f64,
+        /// Mean dwell time in the burst state, nanoseconds.
+        mean_burst_ns: f64,
+    },
+    /// Replay a recorded trace of `(arrival_ns, model)` pairs verbatim
+    /// (entries beyond the horizon are dropped; the mix is ignored).
+    Trace {
+        /// Arrival time and catalog model index per request.
+        arrivals: Vec<(u64, usize)>,
+    },
+}
+
+impl TrafficModel {
+    fn validate(&self) -> Result<(), ServeError> {
+        let ok = |x: f64| x.is_finite() && x > 0.0;
+        match self {
+            TrafficModel::Poisson { rate_rps } => {
+                if !ok(*rate_rps) {
+                    return Err(ServeError::BadTraffic);
+                }
+            }
+            TrafficModel::Bursty {
+                base_rps,
+                burst_rps,
+                mean_base_ns,
+                mean_burst_ns,
+            } => {
+                if !(ok(*base_rps) && ok(*burst_rps) && ok(*mean_base_ns) && ok(*mean_burst_ns)) {
+                    return Err(ServeError::BadTraffic);
+                }
+            }
+            TrafficModel::Trace { .. } => {}
+        }
+        Ok(())
+    }
+}
+
+/// Draws an exponential gap with the given mean, nanoseconds (≥ 1 so time
+/// strictly advances between draws).
+fn exp_gap_ns(mean_ns: f64, rng: &mut StdRng) -> u64 {
+    let u: f64 = rng.gen();
+    // ln(1 - u) is finite for u ∈ [0, 1).
+    let gap = -mean_ns * (1.0 - u).ln();
+    (gap.round() as u64).max(1)
+}
+
+/// Generates the sorted request sequence of `traffic` over `horizon_ns`
+/// simulated nanoseconds, tagging each request with a model drawn from
+/// `mix`.
+///
+/// # Errors
+///
+/// Returns [`ServeError::BadTraffic`] for non-positive rates or dwell
+/// times, and [`ServeError::BadMix`] when a trace entry's model index is
+/// outside the mix.
+pub fn generate_requests(
+    traffic: &TrafficModel,
+    mix: &ModelMix,
+    horizon_ns: u64,
+    seed: u64,
+) -> Result<Vec<Request>, ServeError> {
+    traffic.validate()?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut requests = Vec::new();
+    match traffic {
+        TrafficModel::Poisson { rate_rps } => {
+            let mean_gap_ns = 1e9 / rate_rps;
+            let mut t = 0u64;
+            loop {
+                t = t.saturating_add(exp_gap_ns(mean_gap_ns, &mut rng));
+                if t >= horizon_ns {
+                    break;
+                }
+                requests.push(Request {
+                    id: requests.len() as u64,
+                    model: mix.sample(&mut rng),
+                    arrival_ns: t,
+                });
+            }
+        }
+        TrafficModel::Bursty {
+            base_rps,
+            burst_rps,
+            mean_base_ns,
+            mean_burst_ns,
+        } => {
+            let mut in_burst = false;
+            let mut t = 0u64;
+            let mut state_end = exp_gap_ns(*mean_base_ns, &mut rng);
+            while t < horizon_ns {
+                let rate = if in_burst { *burst_rps } else { *base_rps };
+                let next = t.saturating_add(exp_gap_ns(1e9 / rate, &mut rng));
+                if next >= state_end {
+                    // State expires before the next arrival: switch state
+                    // and restart the (memoryless) arrival draw there.
+                    t = state_end;
+                    in_burst = !in_burst;
+                    let dwell = if in_burst {
+                        *mean_burst_ns
+                    } else {
+                        *mean_base_ns
+                    };
+                    state_end = state_end.saturating_add(exp_gap_ns(dwell, &mut rng));
+                    continue;
+                }
+                t = next;
+                if t >= horizon_ns {
+                    break;
+                }
+                requests.push(Request {
+                    id: requests.len() as u64,
+                    model: mix.sample(&mut rng),
+                    arrival_ns: t,
+                });
+            }
+        }
+        TrafficModel::Trace { arrivals } => {
+            for &(arrival_ns, model) in arrivals {
+                if arrival_ns >= horizon_ns {
+                    continue;
+                }
+                if model >= mix.models() {
+                    return Err(ServeError::BadMix);
+                }
+                requests.push(Request {
+                    id: 0,
+                    model,
+                    arrival_ns,
+                });
+            }
+            requests.sort_by_key(|r| r.arrival_ns);
+            for (i, r) in requests.iter_mut().enumerate() {
+                r.id = i as u64;
+            }
+        }
+    }
+    Ok(requests)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count(traffic: &TrafficModel, horizon_ns: u64, seed: u64) -> usize {
+        let mix = ModelMix::uniform(2).expect("mix");
+        generate_requests(traffic, &mix, horizon_ns, seed)
+            .expect("generable")
+            .len()
+    }
+
+    #[test]
+    fn poisson_rate_is_respected_on_average() {
+        // 100k rps over 10 ms ⇒ ~1000 arrivals.
+        let n = count(
+            &TrafficModel::Poisson {
+                rate_rps: 100_000.0,
+            },
+            10_000_000,
+            7,
+        );
+        assert!((800..1200).contains(&n), "got {n} arrivals");
+    }
+
+    #[test]
+    fn arrivals_are_sorted_unique_ids_and_within_horizon() {
+        let mix = ModelMix::new(&[0.7, 0.3]).expect("mix");
+        let reqs = generate_requests(
+            &TrafficModel::Bursty {
+                base_rps: 50_000.0,
+                burst_rps: 500_000.0,
+                mean_base_ns: 1_000_000.0,
+                mean_burst_ns: 250_000.0,
+            },
+            &mix,
+            5_000_000,
+            3,
+        )
+        .expect("generable");
+        assert!(!reqs.is_empty());
+        for (i, pair) in reqs.windows(2).enumerate() {
+            assert!(pair[0].arrival_ns <= pair[1].arrival_ns);
+            assert_eq!(pair[0].id, i as u64);
+        }
+        assert!(reqs.iter().all(|r| r.arrival_ns < 5_000_000 && r.model < 2));
+    }
+
+    #[test]
+    fn bursty_outpaces_base_rate() {
+        let base = count(
+            &TrafficModel::Poisson { rate_rps: 50_000.0 },
+            20_000_000,
+            11,
+        );
+        let bursty = count(
+            &TrafficModel::Bursty {
+                base_rps: 50_000.0,
+                burst_rps: 1_000_000.0,
+                mean_base_ns: 1_000_000.0,
+                mean_burst_ns: 1_000_000.0,
+            },
+            20_000_000,
+            11,
+        );
+        assert!(bursty > base, "bursty {bursty} <= base {base}");
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let traffic = TrafficModel::Poisson { rate_rps: 80_000.0 };
+        let mix = ModelMix::uniform(3).expect("mix");
+        let a = generate_requests(&traffic, &mix, 4_000_000, 99).expect("a");
+        let b = generate_requests(&traffic, &mix, 4_000_000, 99).expect("b");
+        assert_eq!(a, b);
+        let c = generate_requests(&traffic, &mix, 4_000_000, 100).expect("c");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn trace_replays_sorted_and_validates_models() {
+        let mix = ModelMix::uniform(2).expect("mix");
+        let traffic = TrafficModel::Trace {
+            arrivals: vec![(300, 1), (100, 0), (900_000, 0), (500, 1)],
+        };
+        let reqs = generate_requests(&traffic, &mix, 1_000, 0).expect("generable");
+        assert_eq!(
+            reqs.iter()
+                .map(|r| (r.arrival_ns, r.model, r.id))
+                .collect::<Vec<_>>(),
+            vec![(100, 0, 0), (300, 1, 1), (500, 1, 2)]
+        );
+        let bad = TrafficModel::Trace {
+            arrivals: vec![(1, 5)],
+        };
+        assert_eq!(
+            generate_requests(&bad, &mix, 1_000, 0),
+            Err(ServeError::BadMix)
+        );
+    }
+
+    #[test]
+    fn degenerate_parameters_are_rejected() {
+        let mix = ModelMix::uniform(1).expect("mix");
+        for traffic in [
+            TrafficModel::Poisson { rate_rps: 0.0 },
+            TrafficModel::Poisson {
+                rate_rps: f64::INFINITY,
+            },
+            TrafficModel::Bursty {
+                base_rps: 1.0,
+                burst_rps: -2.0,
+                mean_base_ns: 1.0,
+                mean_burst_ns: 1.0,
+            },
+        ] {
+            assert_eq!(
+                generate_requests(&traffic, &mix, 1_000, 0),
+                Err(ServeError::BadTraffic)
+            );
+        }
+        assert_eq!(ModelMix::new(&[]).unwrap_err(), ServeError::BadMix);
+        assert_eq!(ModelMix::new(&[0.0, 0.0]).unwrap_err(), ServeError::BadMix);
+        assert_eq!(ModelMix::new(&[1.0, -1.0]).unwrap_err(), ServeError::BadMix);
+    }
+}

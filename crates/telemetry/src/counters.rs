@@ -41,6 +41,9 @@ impl CounterRecorder {
             buffer_writes: self.count(Event::BufferWrite),
             weight_updates: self.count(Event::WeightUpdate),
             train_steps: self.count(Event::TrainStep),
+            requests_enqueued: self.count(Event::RequestEnqueued),
+            batches_formed: self.count(Event::BatchFormed),
+            requests_completed: self.count(Event::RequestCompleted),
         }
     }
 

@@ -1,7 +1,7 @@
 //! The hardware event vocabulary.
 
 /// Number of distinct [`Event`] kinds (array dimension for counter sinks).
-pub const EVENT_COUNT: usize = 11;
+pub const EVENT_COUNT: usize = 14;
 
 /// A countable hardware event in the simulated accelerator.
 ///
@@ -35,6 +35,12 @@ pub enum Event {
     WeightUpdate = 9,
     /// One optimizer step over a minibatch.
     TrainStep = 10,
+    /// One inference/training request admitted into a serving queue.
+    RequestEnqueued = 11,
+    /// One dynamic batch closed and dispatched to a chip.
+    BatchFormed = 12,
+    /// One serving request completed (response ready).
+    RequestCompleted = 13,
 }
 
 impl Event {
@@ -51,6 +57,9 @@ impl Event {
         Event::BufferWrite,
         Event::WeightUpdate,
         Event::TrainStep,
+        Event::RequestEnqueued,
+        Event::BatchFormed,
+        Event::RequestCompleted,
     ];
 
     /// Stable dense index of this event, `0..EVENT_COUNT`.
@@ -72,6 +81,9 @@ impl Event {
             Event::BufferWrite => "buffer_writes",
             Event::WeightUpdate => "weight_updates",
             Event::TrainStep => "train_steps",
+            Event::RequestEnqueued => "requests_enqueued",
+            Event::BatchFormed => "batches_formed",
+            Event::RequestCompleted => "requests_completed",
         }
     }
 }

@@ -9,8 +9,10 @@
 use serde::{Deserialize, Serialize};
 
 /// Schema version stamped into every [`RunReport`]; bump on breaking shape
-/// changes so downstream tooling can detect mismatches.
-pub const REPORT_SCHEMA_VERSION: u32 = 1;
+/// changes so downstream tooling can detect mismatches. Version 2 added the
+/// serving-layer counters (`requests_enqueued`, `batches_formed`,
+/// `requests_completed`).
+pub const REPORT_SCHEMA_VERSION: u32 = 2;
 
 /// Snapshot of every event counter (field names match [`crate::Event::name`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -26,6 +28,9 @@ pub struct EventCounts {
     pub buffer_writes: u64,
     pub weight_updates: u64,
     pub train_steps: u64,
+    pub requests_enqueued: u64,
+    pub batches_formed: u64,
+    pub requests_completed: u64,
 }
 
 impl EventCounts {
@@ -42,6 +47,9 @@ impl EventCounts {
             + self.buffer_writes
             + self.weight_updates
             + self.train_steps
+            + self.requests_enqueued
+            + self.batches_formed
+            + self.requests_completed
     }
 }
 

@@ -21,6 +21,7 @@ FIRST_PARTY=(
     reram-datasets
     reram-gpu
     reram-core
+    reram-serve
     reram-bench
     reram-lint
 )
