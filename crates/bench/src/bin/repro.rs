@@ -62,10 +62,23 @@ fn run(artifact: &str) -> bool {
             "Table I: PipeLayer and ReGAN vs GTX 1080 (E6/E7)",
             table1::run().render(),
         ),
-        "plan" => section(
-            "Analysis: uniform macro-cycles vs per-layer plan latency, AlexNet (E9)",
-            plan_latency::run().render(),
-        ),
+        "plan" => {
+            section(
+                "Analysis: uniform macro-cycles vs per-layer plan latency, AlexNet (E9)",
+                plan_latency::run().render(),
+            );
+            // Static verification footer: the numbers above come from
+            // lowered plans, so stamp the artifact with the verifier's
+            // zoo-wide sweep result.
+            let (plans, findings) = reram_core::verify::verify_zoo();
+            println!("verified: {plans} plans, {} violations", findings.len());
+            for f in &findings {
+                eprintln!("plan/{}/{}: {}", f.config, f.network, f.violation);
+            }
+            if !findings.is_empty() {
+                std::process::exit(1);
+            }
+        }
         "serve" => {
             section(
                 "Serving: scheduling policies, 4 chips, LeNet+AlexNet mix (E10)",

@@ -80,6 +80,7 @@ impl PipeLayerAccelerator {
     /// # Errors
     ///
     /// Propagates [`PlanError`] from [`ExecutionPlan::lower`].
+    #[must_use = "the lowered plan is the result"]
     pub fn plan(&self, net: &NetworkSpec) -> Result<ExecutionPlan, PlanError> {
         ExecutionPlan::lower(net, &self.config)
     }

@@ -105,6 +105,7 @@ impl ChipPlan {
     /// [`ChipPlanError::EmptyBank`] for a bank shape without subarrays, and
     /// [`ChipPlanError::Mapping`] when the network cannot be mapped under
     /// the configured replication policy.
+    #[must_use = "the bank placement is the result"]
     pub fn plan(
         net: &NetworkSpec,
         config: &AcceleratorConfig,

@@ -98,6 +98,7 @@ impl CompiledMlp {
     /// Returns [`CompileError::EmptyNetwork`] if `stages` is empty and
     /// [`CompileError::ShapeMismatch`] if consecutive layer shapes are
     /// incompatible.
+    #[must_use = "the compiled network is the result"]
     pub fn compile(stages: Vec<FcStage>, config: &CrossbarConfig) -> Result<Self, CompileError> {
         if stages.is_empty() {
             return Err(CompileError::EmptyNetwork);
@@ -245,6 +246,7 @@ impl TrainableMlp {
     /// Returns [`CompileError::EmptyNetwork`] if `layers` is empty and
     /// [`CompileError::ShapeMismatch`] if consecutive shapes are
     /// incompatible.
+    #[must_use = "the compiled network is the result"]
     pub fn compile(
         layers: Vec<(Matrix, bool)>,
         config: &CrossbarConfig,
@@ -539,6 +541,7 @@ impl CompiledNetwork {
     /// the feature map the chain delivers, and
     /// [`CompileError::BadGeometry`] when a window/stride does not fit its
     /// input tensor.
+    #[must_use = "the compiled network is the result"]
     pub fn compile(
         input: (usize, usize, usize),
         stages: Vec<NetStage>,

@@ -38,6 +38,7 @@ impl AcceleratorConfig {
     /// # Errors
     ///
     /// Returns a description of the first violated constraint.
+    #[must_use = "the validation outcome must be checked"]
     pub fn validate(&self) -> Result<(), String> {
         self.crossbar.validate()?;
         if !(0.0..=1.0).contains(&self.activity) {

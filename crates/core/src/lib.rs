@@ -19,6 +19,10 @@
 //!   [`ExecutionPlan`] of per-layer mappings, MVM counts, buffer traffic
 //!   and cycle/energy closed forms that the timing, pipeline, report and
 //!   GPU cost models all consume,
+//! * [`verify`] — a static checker over lowered plans: conservation laws,
+//!   feasibility (budgets, replication, queueing stability) and
+//!   metamorphic monotonicity checks, surfaced as typed [`Violation`]s
+//!   through `reram-lint --plans`,
 //! * [`regan`] — the GAN training pipeline of Fig. 8 with the spatial
 //!   parallelism (SP) and computation sharing (CS) optimizations of Fig. 9,
 //! * [`timing`] — conversion of pipeline macro-cycles into wall-clock time
@@ -59,6 +63,7 @@ pub mod regan;
 pub mod report;
 pub mod subarray;
 pub mod timing;
+pub mod verify;
 
 mod config;
 
@@ -72,3 +77,4 @@ pub use pipeline::{PipelineModel, PipelineTrace};
 pub use plan::{regan_pipeline, ExecutionPlan, LayerPlan, PlanError};
 pub use regan::{ReganOpt, ReganPipeline};
 pub use report::{build_run_report, layer_adc_conversions, layer_cell_writes, layer_reports};
+pub use verify::{verify_lowering, verify_plan, verify_serve, ServeShape, Violation, ZooFinding};

@@ -99,6 +99,7 @@ impl ReplicationPolicy {
     /// Returns a [`MappingError`] if the policy parameter is zero, or for
     /// [`ReplicationPolicy::ArrayBudget`], which needs whole-network
     /// context — use [`map_network`] instead.
+    #[must_use = "the chosen replication factor is the result"]
     pub fn replication_for(&self, mvms: usize) -> Result<usize, MappingError> {
         match *self {
             ReplicationPolicy::None => Ok(1),
@@ -188,6 +189,7 @@ impl LayerMapping {
     /// # Panics
     ///
     /// Panics if `layer` is not weighted.
+    #[must_use = "the mapping is the result"]
     pub fn map_with_policy(
         layer: &LayerSpec,
         config: &AcceleratorConfig,
@@ -203,7 +205,7 @@ impl LayerMapping {
     }
 
     /// Physical arrays of one (unreplicated) copy of this layer's grid.
-    fn base_arrays(&self) -> usize {
+    pub fn base_arrays(&self) -> usize {
         self.arrays / self.replication
     }
 
@@ -235,6 +237,7 @@ impl LayerMapping {
 ///
 /// Returns a [`MappingError`] if the configured policy has a zero
 /// parameter (replication factor, step bound, or array budget).
+#[must_use = "the mappings are the result"]
 pub fn map_network(
     net: &NetworkSpec,
     config: &AcceleratorConfig,

@@ -95,6 +95,7 @@ impl ExecutionPlan {
     /// validation, [`PlanError::Mapping`] if a layer cannot be mapped under
     /// the replication policy, and [`PlanError::NoWeightedLayers`] if the
     /// network holds no crossbar-mapped layers.
+    #[must_use = "the lowered plan is the result"]
     pub fn lower(net: &NetworkSpec, config: &AcceleratorConfig) -> Result<Self, PlanError> {
         config.validate().map_err(PlanError::InvalidConfig)?;
         let mappings = map_network(net, config)?;
@@ -125,7 +126,7 @@ impl ExecutionPlan {
 
         let total_arrays: usize = layers.iter().map(|l| l.mapping.arrays).sum();
 
-        Ok(Self {
+        let plan = Self {
             name: net.name.clone(),
             works: net.work(),
             layers,
@@ -135,7 +136,20 @@ impl ExecutionPlan {
             buffer_energy_pj,
             total_arrays,
             area_mm2: config.cost.grid_area_um2(total_arrays) / 1e6,
-        })
+        };
+        // Every lowering re-verifies its own output in debug builds; the
+        // static checks are pure closed-form recomputation, cheap relative
+        // to the mapping search itself.
+        #[cfg(debug_assertions)]
+        {
+            let violations = crate::verify::verify_plan(&plan, config);
+            debug_assert!(
+                violations.is_empty(),
+                "lowering of `{}` violated plan invariants: {violations:?}",
+                plan.name
+            );
+        }
+        Ok(plan)
     }
 
     /// Number of weighted (crossbar-mapped) layers.

@@ -92,6 +92,7 @@ impl CrossbarConfig {
     /// # Errors
     ///
     /// Returns a description of the first violated constraint.
+    #[must_use = "the validation outcome must be checked"]
     pub fn validate(&self) -> Result<(), String> {
         if self.rows == 0 || self.cols == 0 {
             return Err("array geometry must be non-zero".into());

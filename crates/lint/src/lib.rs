@@ -16,6 +16,8 @@
 //! | `telemetry-coverage` | every `telemetry::Event` variant is emitted outside the telemetry crate |
 //! | `panic` | no `unwrap`/`expect`/`panic!`/`todo!` in library code without an annotated reason |
 //! | `determinism` | no `Instant`/`SystemTime`/`HashMap` in simulation paths; crate roots forbid `unsafe_code` |
+//! | `dead-event` | every `telemetry::Event` variant is *emitted* via `record(...)` outside the telemetry crate |
+//! | `must_use` | public `fn`s returning `Result` in library crates carry `#[must_use]` |
 //!
 //! A justified exception is waived in place with
 //! `// lint:allow(<rule>) <reason>` on (or directly above) the offending
@@ -23,9 +25,17 @@
 //! diagnostics. Run via `cargo run -p reram-lint` (wired into
 //! `scripts/check.sh`); the binary exits non-zero on any violation and
 //! prints `file:line: [rule] message` diagnostics.
+//!
+//! Beyond the source rules, `cargo run -p reram-lint -- --plans` verifies
+//! *lowered IR* instead of text: every model-zoo network is lowered under a
+//! matrix of accelerator configs and statically checked by
+//! [`reram_core::verify`] (conservation laws, feasibility, metamorphic
+//! monotonicity), with violations reported in the same diagnostic format
+//! under the rule name `plan` (see [`plans`]).
 
 #![forbid(unsafe_code)]
 
+pub mod plans;
 pub mod rules;
 pub mod scanner;
 pub mod workspace;

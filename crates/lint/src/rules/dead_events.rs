@@ -1,0 +1,121 @@
+//! Rule `dead-event`: every telemetry event must actually be *emitted*.
+//!
+//! `telemetry-coverage` requires each `Event` variant to be *referenced*
+//! outside the telemetry crate, but a reference is a weaker guarantee than
+//! an emission: matching on an event in a report renderer, or naming it in
+//! a test helper, satisfies coverage while the counter still never moves.
+//! This rule requires each variant to appear inside the argument span of a
+//! `record(...)` call — the only way the workspace increments a counter —
+//! in non-test code outside the telemetry crate. Call spans may run over
+//! multiple lines (rustfmt wraps wide `record` calls), so the rule tracks
+//! parenthesis depth from the `record(` opener across lines.
+
+use crate::workspace::Workspace;
+use crate::Diagnostic;
+
+use super::telemetry::{event_variants, references_variant, TELEMETRY_CRATE};
+
+const RULE: &str = "dead-event";
+
+/// A `record(...)` call can be reformatted over at most this many lines
+/// before the rule stops following it (a safety bound, far above any real
+/// rustfmt output).
+const MAX_CALL_SPAN_LINES: usize = 12;
+
+/// Runs the dead-event rule over the workspace.
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let Some(telemetry) = ws.get(TELEMETRY_CRATE) else {
+        // Fixture workspaces without a telemetry crate have no vocabulary.
+        return Vec::new();
+    };
+    let variants = event_variants(telemetry);
+
+    // Collect every record-call argument span outside the telemetry crate.
+    let mut spans: Vec<String> = Vec::new();
+    for krate in &ws.crates {
+        if krate.name == TELEMETRY_CRATE {
+            continue;
+        }
+        for file in &krate.files {
+            let lines: Vec<(usize, &str)> = file.code_lines().collect();
+            for (i, (_, line)) in lines.iter().enumerate() {
+                for opener in record_call_offsets(line) {
+                    let mut span = String::new();
+                    let mut depth = 0i64;
+                    let mut started = false;
+                    'span: for (j, (_, later)) in
+                        lines.iter().enumerate().skip(i).take(MAX_CALL_SPAN_LINES)
+                    {
+                        let skip_chars = if j == i { opener } else { 0 };
+                        for c in later.chars().skip(skip_chars) {
+                            match c {
+                                '(' => {
+                                    depth += 1;
+                                    started = true;
+                                }
+                                ')' => depth -= 1,
+                                _ => {}
+                            }
+                            if depth > 0 {
+                                span.push(c);
+                            }
+                        }
+                        span.push(' ');
+                        if started && depth <= 0 {
+                            break 'span;
+                        }
+                    }
+                    spans.push(span);
+                }
+            }
+        }
+    }
+
+    let mut diags = Vec::new();
+    for (variant, def_path, def_line) in &variants {
+        if !spans.iter().any(|s| references_variant(s, variant)) {
+            diags.push(Diagnostic::new(
+                def_path,
+                *def_line,
+                RULE,
+                format!(
+                    "telemetry event `Event::{variant}` is never emitted: no \
+                     `record(Event::{variant}, ..)` call exists outside the \
+                     telemetry crate — wire the counter up or remove the variant"
+                ),
+            ));
+        }
+    }
+    diags
+}
+
+/// Character offsets of each `record(` call opener on a masked line: a
+/// `record` identifier (boundary on the left, so `try_record` does not
+/// match) followed, after optional whitespace, by `(`. The returned offset
+/// points at the identifier, before the opening paren.
+fn record_call_offsets(masked_line: &str) -> Vec<usize> {
+    let chars: Vec<char> = masked_line.chars().collect();
+    let mut offsets = Vec::new();
+    let needle: Vec<char> = "record".chars().collect();
+    let mut i = 0;
+    while i + needle.len() <= chars.len() {
+        if chars[i..i + needle.len()] != needle[..] {
+            i += 1;
+            continue;
+        }
+        let before_ok = i == 0 || (!chars[i - 1].is_alphanumeric() && chars[i - 1] != '_');
+        let mut j = i + needle.len();
+        // `record` must end at an identifier boundary and open a call.
+        let word_ok = chars
+            .get(j)
+            .is_none_or(|c| !c.is_alphanumeric() && *c != '_');
+        while chars.get(j).is_some_and(|c| c.is_whitespace()) {
+            j += 1;
+        }
+        if before_ok && word_ok && chars.get(j) == Some(&'(') {
+            offsets.push(i);
+        }
+        i += needle.len();
+    }
+    offsets
+}

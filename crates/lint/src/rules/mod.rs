@@ -1,7 +1,9 @@
 //! The rule set. Each rule module exposes `check(&Workspace) -> Vec<Diagnostic>`.
 
+pub mod dead_events;
 pub mod determinism;
 pub mod layering;
+pub mod must_use;
 pub mod panics;
 pub mod telemetry;
 pub mod units;
@@ -38,5 +40,15 @@ pub const RULES: &[(&str, &str, RuleFn)] = &[
         "determinism",
         "no Instant/SystemTime/HashMap/HashSet in simulation paths; crate roots forbid unsafe_code",
         determinism::check,
+    ),
+    (
+        "dead-event",
+        "every telemetry::Event variant is emitted via a record(...) call outside the telemetry crate",
+        dead_events::check,
+    ),
+    (
+        "must_use",
+        "public fns returning Result in library crates carry #[must_use] (or lint:allow(must_use))",
+        must_use::check,
     ),
 ];

@@ -1,0 +1,190 @@
+//! Rule `must_use`: public fallible APIs must not be silently droppable.
+//!
+//! A `pub fn` returning `Result` in a first-party library crate must carry
+//! a `#[must_use]` attribute (the workspace uses the
+//! `#[must_use = "reason"]` form — the bare form trips clippy's
+//! `double_must_use` on `Result` returns) or waive the rule with
+//! `// lint:allow(must_use) <reason>`. `Result` is itself `#[must_use]`,
+//! which protects direct callers, but an annotation on the *function*
+//! survives wrapping, `let _ = ...` audits grep for it, and — more to the
+//! point here — it documents at the signature that the error path is part
+//! of the API contract.
+//!
+//! Binary targets (`src/main.rs`, `src/bin/`) are exempt: their `pub` is
+//! not a library surface.
+
+use crate::scanner::tokenize;
+use crate::workspace::Workspace;
+use crate::Diagnostic;
+
+const RULE: &str = "must_use";
+
+/// A signature can be rustfmt-wrapped over at most this many lines before
+/// the rule stops following it.
+const MAX_SIGNATURE_LINES: usize = 30;
+
+/// Attributes and doc comments above a `fn` are scanned at most this far
+/// up for an existing `#[must_use]`.
+const MAX_ATTR_LOOKBACK_LINES: usize = 20;
+
+/// Runs the must_use rule over the workspace.
+pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for krate in &ws.crates {
+        for file in &krate.files {
+            if is_binary_target(&file.path) {
+                continue;
+            }
+            for (line_no, line) in file.code_lines() {
+                if !is_pub_fn_line(line) {
+                    continue;
+                }
+                if !signature_returns_result(file, line_no) {
+                    continue;
+                }
+                if has_must_use_attr(file, line_no) || file.allowed(line_no, RULE) {
+                    continue;
+                }
+                let name = fn_name(line).unwrap_or("<fn>");
+                diags.push(Diagnostic::new(
+                    &file.path,
+                    line_no,
+                    RULE,
+                    format!(
+                        "public fn `{name}` returns Result but is not \
+                         #[must_use]; annotate it (use the \
+                         `#[must_use = \"reason\"]` form) or waive with \
+                         `// lint:allow(must_use) <reason>`"
+                    ),
+                ));
+            }
+        }
+    }
+    diags
+}
+
+fn is_binary_target(path: &str) -> bool {
+    path.ends_with("src/main.rs") || path.contains("/src/bin/") || !path.contains("src/")
+}
+
+/// Whether the masked line opens a `pub fn` item: a `pub` keyword (without
+/// a visibility qualifier — `pub(crate)` and `pub(super)` are not a public
+/// surface) followed by `fn`, allowing `const`/`async`/`unsafe`/`extern`
+/// qualifiers between.
+fn is_pub_fn_line(masked_line: &str) -> bool {
+    let tokens = tokenize(masked_line);
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].ident() == Some("pub") {
+            if tokens.get(i + 1).is_some_and(|t| t.is_punct('(')) {
+                // `pub(in path)` visibility — restricted, not public.
+                i += 1;
+                continue;
+            }
+            let mut j = i + 1;
+            while let Some(ident) = tokens.get(j).and_then(crate::scanner::Token::ident) {
+                match ident {
+                    "const" | "async" | "unsafe" | "extern" => j += 1,
+                    "fn" => return true,
+                    _ => break,
+                }
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+/// The function name on a `pub fn` line.
+fn fn_name(masked_line: &str) -> Option<&str> {
+    let tokens = tokenize(masked_line);
+    tokens
+        .windows(2)
+        .find(|w| w[0].ident() == Some("fn"))
+        .and_then(|w| w[1].ident())
+}
+
+/// Whether the signature starting at `line_no` (1-based) declares a
+/// `Result` return type: accumulate lines up to the body `{` (or `;` for
+/// trait/extern declarations), take the text after the *last* `->`, and
+/// look for a `Result` ident before any `<` closes over it being the
+/// outermost constructor. Closure arrows inside default arguments would
+/// also match `->`, which is why the last arrow wins (the return type is
+/// rightmost in the header).
+fn signature_returns_result(file: &crate::scanner::SourceFile, line_no: usize) -> bool {
+    let mut signature = String::new();
+    for idx in 0..MAX_SIGNATURE_LINES {
+        let Some(line) = file.masked_lines.get(line_no - 1 + idx) else {
+            break;
+        };
+        let stop = line.find(['{', ';']);
+        match stop {
+            Some(pos) => {
+                signature.push_str(&line[..pos]);
+                break;
+            }
+            None => {
+                signature.push_str(line);
+                signature.push(' ');
+            }
+        }
+    }
+    let Some(arrow) = signature.rfind("->") else {
+        return false;
+    };
+    let ret = &signature[arrow + 2..];
+    for token in tokenize(ret) {
+        if token.is_punct('<') {
+            // Past the outermost constructor's generics: `Option<Result<..`
+            // is Option-shaped, not Result-shaped.
+            return false;
+        }
+        if token.ident() == Some("Result") {
+            return true;
+        }
+    }
+    false
+}
+
+/// Whether an `#[must_use]`/`#[must_use = ".."]` attribute sits on the
+/// `fn` line or in the attribute/doc block directly above it.
+fn has_must_use_attr(file: &crate::scanner::SourceFile, line_no: usize) -> bool {
+    let line_has = |idx: usize| -> bool {
+        file.masked_lines
+            .get(idx)
+            .is_some_and(|l| attr_line_has_must_use(l))
+    };
+    if line_has(line_no - 1) {
+        return true;
+    }
+    // Walk upward through attributes, doc comments (masked to blank), and
+    // blank lines; anything else ends the item's attribute block.
+    for step in 1..=MAX_ATTR_LOOKBACK_LINES {
+        let Some(idx) = (line_no - 1).checked_sub(step) else {
+            break;
+        };
+        let Some(masked) = file.masked_lines.get(idx) else {
+            break;
+        };
+        let trimmed = masked.trim();
+        if attr_line_has_must_use(masked) {
+            return true;
+        }
+        let is_attr_or_blank = trimmed.is_empty() || trimmed.starts_with('#') ||
+            // Continuation of a multi-line attribute, e.g. a wrapped
+            // `#[must_use = "..."]` closes on its own `]` line.
+            trimmed == "]" || trimmed.ends_with(")]");
+        if !is_attr_or_blank {
+            break;
+        }
+    }
+    false
+}
+
+fn attr_line_has_must_use(masked_line: &str) -> bool {
+    let tokens = tokenize(masked_line);
+    tokens
+        .windows(3)
+        .any(|w| w[0].is_punct('#') && w[1].is_punct('[') && w[2].ident() == Some("must_use"))
+        || (masked_line.trim_start().starts_with('#') && masked_line.contains("must_use"))
+}

@@ -68,7 +68,9 @@ pub fn check(ws: &Workspace) -> Vec<Diagnostic> {
 }
 
 /// `Event::<Variant>` with an identifier boundary after the variant.
-fn references_variant(masked_line: &str, variant: &str) -> bool {
+/// Shared with the `dead-event` rule, which looks for the same references
+/// but only inside `record(...)` call spans.
+pub(super) fn references_variant(masked_line: &str, variant: &str) -> bool {
     let needle = format!("Event::{variant}");
     let mut from = 0;
     while let Some(pos) = masked_line[from..].find(&needle) {
@@ -86,8 +88,10 @@ fn references_variant(masked_line: &str, variant: &str) -> bool {
 }
 
 /// Parses `(variant, defining file, line)` out of the telemetry crate's
-/// `enum Event { ... }` block.
-fn event_variants(telemetry: &crate::workspace::CrateInfo) -> Vec<(String, String, usize)> {
+/// `enum Event { ... }` block. Shared with the `dead-event` rule.
+pub(super) fn event_variants(
+    telemetry: &crate::workspace::CrateInfo,
+) -> Vec<(String, String, usize)> {
     let mut variants = Vec::new();
     for file in &telemetry.files {
         // Find `enum Event` and walk its block line by line.

@@ -88,6 +88,7 @@ impl std::error::Error for LoadError {}
 impl Workspace {
     /// Loads the workspace rooted at `root` (the directory holding the
     /// workspace `Cargo.toml` with the `crates/` and `src/` trees).
+    #[must_use = "the loaded workspace is the result"]
     pub fn load(root: &Path) -> Result<Workspace, LoadError> {
         let mut crates = Vec::new();
         // Root package (reram-suite): manifest at the workspace root.

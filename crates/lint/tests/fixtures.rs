@@ -384,6 +384,131 @@ fn determinism_sanctions_telemetry_span_and_annotations() {
 }
 
 #[test]
+fn dead_event_flags_referenced_but_never_recorded_variant() {
+    let telemetry_manifest = manifest("reram-telemetry", &[]);
+    let event_src = "#![forbid(unsafe_code)]\n\
+                     pub enum Event {\n    CrossbarMvm = 0,\n    CellWrite = 1,\n}\n";
+    let emitter_manifest = manifest("reram-crossbar", &["reram-telemetry"]);
+    // `CellWrite` is *referenced* (a match arm), which satisfies
+    // telemetry-coverage — but only `CrossbarMvm` is ever passed to a
+    // `record(...)` call, so its counter can never move.
+    let emitter_src = "#![forbid(unsafe_code)]\n\
+                       pub fn mvm() { record(Event::CrossbarMvm, 1); }\n\
+                       pub fn label(e: &Event) -> u32 {\n\
+                       match e { Event::CellWrite => 1, _ => 0 }\n\
+                       }\n";
+    let ws = Workspace::from_sources(&[
+        (
+            "reram-telemetry",
+            &telemetry_manifest,
+            &[
+                ("crates/telemetry/src/lib.rs", "#![forbid(unsafe_code)]\n"),
+                ("crates/telemetry/src/event.rs", event_src),
+            ],
+        ),
+        (
+            "reram-crossbar",
+            &emitter_manifest,
+            &[("crates/crossbar/src/lib.rs", emitter_src)],
+        ),
+    ]);
+    let diags = check_workspace(&ws);
+    assert!(
+        diags.iter().all(|d| d.rule != "telemetry-coverage"),
+        "the match arm satisfies coverage: {diags:?}"
+    );
+    let dead: Vec<_> = diags.iter().filter(|d| d.rule == "dead-event").collect();
+    assert_eq!(dead.len(), 1, "exactly CellWrite is dead: {diags:?}");
+    assert!(dead[0].message.contains("CellWrite"));
+    assert!(dead[0].path.ends_with("event.rs"));
+    assert_eq!(dead[0].line, 4);
+}
+
+#[test]
+fn dead_event_follows_wrapped_record_calls() {
+    let telemetry_manifest = manifest("reram-telemetry", &[]);
+    let event_src = "#![forbid(unsafe_code)]\npub enum Event {\n    CrossbarMvm = 0,\n}\n";
+    let emitter_manifest = manifest("reram-crossbar", &["reram-telemetry"]);
+    // rustfmt wraps wide record calls; the variant lands on a later line
+    // than the `record(` opener and must still count as emitted.
+    let emitter_src = "#![forbid(unsafe_code)]\n\
+                       pub fn mvm() {\n\
+                       record(\n\
+                       Event::CrossbarMvm,\n\
+                       1,\n\
+                       );\n\
+                       }\n";
+    let ws = Workspace::from_sources(&[
+        (
+            "reram-telemetry",
+            &telemetry_manifest,
+            &[
+                ("crates/telemetry/src/lib.rs", "#![forbid(unsafe_code)]\n"),
+                ("crates/telemetry/src/event.rs", event_src),
+            ],
+        ),
+        (
+            "reram-crossbar",
+            &emitter_manifest,
+            &[("crates/crossbar/src/lib.rs", emitter_src)],
+        ),
+    ]);
+    let diags = check_workspace(&ws);
+    assert!(
+        diags.iter().all(|d| d.rule != "dead-event"),
+        "a wrapped record call still emits: {diags:?}"
+    );
+}
+
+#[test]
+fn must_use_flags_unannotated_result_fn() {
+    let src = "#![forbid(unsafe_code)]\n\
+               pub fn parse(s: &str) -> Result<u32, String> {\n    Err(s.to_owned())\n}\n";
+    let m = manifest("reram-nn", &[]);
+    let ws = Workspace::from_sources(&[(
+        "reram-nn",
+        &m,
+        &[
+            ("crates/nn/src/lib.rs", "#![forbid(unsafe_code)]\n"),
+            ("crates/nn/src/layers.rs", src),
+        ],
+    )]);
+    let hits = rules_hit(&ws);
+    assert!(
+        hits.contains(&("crates/nn/src/layers.rs:2".to_owned(), "must_use")),
+        "unannotated Result-returning pub fn must trip: {hits:?}"
+    );
+}
+
+#[test]
+fn must_use_honors_annotations_waivers_and_binaries() {
+    let src = "#![forbid(unsafe_code)]\n\
+               #[must_use = \"the parsed value is the result\"]\n\
+               pub fn parse(s: &str) -> Result<u32, String> {\n    Err(s.to_owned())\n}\n\
+               // lint:allow(must_use) callers poll this in a retry loop\n\
+               pub fn poll() -> Result<(), String> {\n    Ok(())\n}\n\
+               pub fn infallible() -> u32 {\n    7\n}\n\
+               pub(crate) fn internal() -> Result<(), String> {\n    Ok(())\n}\n\
+               pub fn wrapped() -> Option<Result<u32, String>> {\n    None\n}\n";
+    let bin_src = "fn main() {}\npub fn run() -> Result<(), String> {\n    Ok(())\n}\n";
+    let m = manifest("reram-nn", &[]);
+    let ws = Workspace::from_sources(&[(
+        "reram-nn",
+        &m,
+        &[
+            ("crates/nn/src/lib.rs", "#![forbid(unsafe_code)]\n"),
+            ("crates/nn/src/layers.rs", src),
+            ("crates/nn/src/bin/tool.rs", bin_src),
+        ],
+    )]);
+    let diags = check_workspace(&ws);
+    assert!(
+        diags.iter().all(|d| d.rule != "must_use"),
+        "annotated/waived/non-public/non-Result/binary fns must pass: {diags:?}"
+    );
+}
+
+#[test]
 fn determinism_requires_forbid_unsafe_in_crate_root() {
     let m = manifest("reram-gpu", &[]);
     let ws = Workspace::from_sources(&[(

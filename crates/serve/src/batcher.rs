@@ -102,7 +102,9 @@ impl Batcher {
             return BatchAction::Deadline {
                 model,
                 generation: queue.generation,
-                deadline_ns: now_ns + self.config.max_linger_ns,
+                // Saturate: an effectively-infinite linger must clamp to
+                // the end of simulated time, not wrap past `now_ns`.
+                deadline_ns: now_ns.saturating_add(self.config.max_linger_ns),
             };
         }
         BatchAction::Wait
@@ -185,6 +187,23 @@ mod tests {
             b.push(req(2, 1, 50), 50),
             BatchAction::Deadline { generation: 1, .. }
         ));
+    }
+
+    #[test]
+    fn huge_linger_saturates_instead_of_wrapping() {
+        let mut b = Batcher::new(
+            1,
+            BatcherConfig {
+                max_batch: 4,
+                max_linger_ns: u64::MAX,
+            },
+        );
+        match b.push(req(0, 0, 1_000), 1_000) {
+            BatchAction::Deadline { deadline_ns, .. } => {
+                assert_eq!(deadline_ns, u64::MAX, "deadline wrapped past now");
+            }
+            other => panic!("expected deadline, got {other:?}"),
+        }
     }
 
     #[test]

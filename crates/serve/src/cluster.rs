@@ -110,6 +110,7 @@ impl Cluster {
     ///
     /// Returns [`ServeError::NoChips`] / [`ServeError::NoModels`] for empty
     /// inputs and [`ServeError::Plan`] when a model fails to lower.
+    #[must_use = "the built cluster is the result"]
     pub fn homogeneous(
         n: usize,
         catalog: &[NetworkSpec],
@@ -127,6 +128,7 @@ impl Cluster {
     /// Returns [`ServeError::NoChips`] / [`ServeError::NoModels`] for empty
     /// inputs and [`ServeError::Plan`] when a model fails to lower on any
     /// chip's configuration.
+    #[must_use = "the built cluster is the result"]
     pub fn heterogeneous(
         configs: &[AcceleratorConfig],
         catalog: &[NetworkSpec],

@@ -1,6 +1,6 @@
 //! The serializable outcome of one serving simulation.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Error, Serialize, Value};
 
 /// Per-chip serving statistics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -21,7 +21,13 @@ pub struct ChipReport {
 ///
 /// Produced by [`crate::ServeSim::run`]; fully deterministic for a given
 /// seed and configuration, including its [`ServeReport::to_json`] bytes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The latency percentiles are `None` when the run completed zero requests
+/// — a percentile of an empty sample has no value, and reporting `0` would
+/// read as an impossibly fast tail. `None` percentiles are omitted from
+/// the JSON encoding entirely (and parse back as `None` when absent), so
+/// reports from completed runs keep their previous byte layout.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeReport {
     /// Scheduling policy that produced the run.
     pub policy: String,
@@ -41,12 +47,14 @@ pub struct ServeReport {
     pub throughput_rps: f64,
     /// Mean request latency (completion − arrival), nanoseconds.
     pub mean_latency_ns: f64,
-    /// Median request latency, nanoseconds.
-    pub p50_latency_ns: u64,
-    /// 95th-percentile request latency, nanoseconds.
-    pub p95_latency_ns: u64,
-    /// 99th-percentile request latency, nanoseconds.
-    pub p99_latency_ns: u64,
+    /// Median request latency, nanoseconds (`None` with zero completions).
+    pub p50_latency_ns: Option<u64>,
+    /// 95th-percentile request latency, nanoseconds (`None` with zero
+    /// completions).
+    pub p95_latency_ns: Option<u64>,
+    /// 99th-percentile request latency, nanoseconds (`None` with zero
+    /// completions).
+    pub p99_latency_ns: Option<u64>,
     /// Worst request latency, nanoseconds.
     pub max_latency_ns: u64,
     /// Total energy across chips, microjoules.
@@ -55,8 +63,92 @@ pub struct ServeReport {
     pub chips: Vec<ChipReport>,
 }
 
+// Hand-written (de)serialization: the derive stand-in has no field
+// attributes, and the percentile fields must be *skipped* when `None`
+// rather than encoded as `null` to keep completed-run reports byte-stable.
+impl Serialize for ServeReport {
+    fn serialize(&self) -> Value {
+        let mut entries = vec![
+            ("policy".to_owned(), self.policy.serialize()),
+            ("seed".to_owned(), self.seed.serialize()),
+            (
+                "requests_admitted".to_owned(),
+                self.requests_admitted.serialize(),
+            ),
+            (
+                "requests_completed".to_owned(),
+                self.requests_completed.serialize(),
+            ),
+            ("batches".to_owned(), self.batches.serialize()),
+            (
+                "mean_batch_size".to_owned(),
+                self.mean_batch_size.serialize(),
+            ),
+            ("makespan_ns".to_owned(), self.makespan_ns.serialize()),
+            ("throughput_rps".to_owned(), self.throughput_rps.serialize()),
+            (
+                "mean_latency_ns".to_owned(),
+                self.mean_latency_ns.serialize(),
+            ),
+        ];
+        for (name, value) in [
+            ("p50_latency_ns", self.p50_latency_ns),
+            ("p95_latency_ns", self.p95_latency_ns),
+            ("p99_latency_ns", self.p99_latency_ns),
+        ] {
+            if let Some(ns) = value {
+                entries.push((name.to_owned(), ns.serialize()));
+            }
+        }
+        entries.push(("max_latency_ns".to_owned(), self.max_latency_ns.serialize()));
+        entries.push((
+            "total_energy_uj".to_owned(),
+            self.total_energy_uj.serialize(),
+        ));
+        entries.push(("chips".to_owned(), self.chips.serialize()));
+        Value::Map(entries)
+    }
+}
+
+impl Deserialize for ServeReport {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        fn req<T: Deserialize>(value: &Value, name: &str) -> Result<T, Error> {
+            let field = value
+                .field(name)
+                .ok_or_else(|| Error::new(format!("missing field `{name}` in ServeReport")))?;
+            T::deserialize(field)
+        }
+        // Absent percentile fields mean a zero-completion run.
+        fn opt(value: &Value, name: &str) -> Result<Option<u64>, Error> {
+            match value.field(name) {
+                None | Some(Value::Null) => Ok(None),
+                Some(field) => u64::deserialize(field).map(Some),
+            }
+        }
+        value.as_map("struct ServeReport")?;
+        Ok(Self {
+            policy: req(value, "policy")?,
+            seed: req(value, "seed")?,
+            requests_admitted: req(value, "requests_admitted")?,
+            requests_completed: req(value, "requests_completed")?,
+            batches: req(value, "batches")?,
+            mean_batch_size: req(value, "mean_batch_size")?,
+            makespan_ns: req(value, "makespan_ns")?,
+            throughput_rps: req(value, "throughput_rps")?,
+            mean_latency_ns: req(value, "mean_latency_ns")?,
+            p50_latency_ns: opt(value, "p50_latency_ns")?,
+            p95_latency_ns: opt(value, "p95_latency_ns")?,
+            p99_latency_ns: opt(value, "p99_latency_ns")?,
+            max_latency_ns: req(value, "max_latency_ns")?,
+            total_energy_uj: req(value, "total_energy_uj")?,
+            chips: req(value, "chips")?,
+        })
+    }
+}
+
 impl ServeReport {
     /// Serializes to pretty-printed JSON (byte-stable per seed + config).
+    #[must_use = "the rendered JSON is the result"]
     pub fn to_json(&self) -> String {
         serde::json::to_string_pretty(self)
     }
@@ -66,11 +158,13 @@ impl ServeReport {
     /// # Errors
     ///
     /// Returns the underlying JSON error on malformed input.
+    #[must_use = "the parsed report is the result"]
     pub fn from_json(text: &str) -> Result<Self, serde::Error> {
         serde::json::from_str(text)
     }
 
     /// Mean per-chip utilization, `0..=1`.
+    #[must_use = "the computed utilization is the result"]
     pub fn mean_utilization(&self) -> f64 {
         if self.chips.is_empty() {
             return 0.0;
@@ -80,14 +174,15 @@ impl ServeReport {
 }
 
 /// The `q`-quantile of sorted latencies via the nearest-rank method
-/// (`ceil(q·n)`-th smallest; `q` in `(0, 1]`).
-pub(crate) fn percentile_ns(sorted_latencies_ns: &[u64], q: f64) -> u64 {
+/// (`ceil(q·n)`-th smallest; `q` in `(0, 1]`). `None` for an empty sample —
+/// an empty run has no percentile, not a zero-nanosecond one.
+pub(crate) fn percentile_ns(sorted_latencies_ns: &[u64], q: f64) -> Option<u64> {
     if sorted_latencies_ns.is_empty() {
-        return 0;
+        return None;
     }
     let n = sorted_latencies_ns.len();
     let rank = (q * n as f64).ceil() as usize;
-    sorted_latencies_ns[rank.clamp(1, n) - 1]
+    Some(sorted_latencies_ns[rank.clamp(1, n) - 1])
 }
 
 #[cfg(test)]
@@ -97,17 +192,16 @@ mod tests {
     #[test]
     fn nearest_rank_percentiles() {
         let lat: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentile_ns(&lat, 0.50), 50);
-        assert_eq!(percentile_ns(&lat, 0.95), 95);
-        assert_eq!(percentile_ns(&lat, 0.99), 99);
-        assert_eq!(percentile_ns(&lat, 1.0), 100);
-        assert_eq!(percentile_ns(&[42], 0.99), 42);
-        assert_eq!(percentile_ns(&[], 0.5), 0);
+        assert_eq!(percentile_ns(&lat, 0.50), Some(50));
+        assert_eq!(percentile_ns(&lat, 0.95), Some(95));
+        assert_eq!(percentile_ns(&lat, 0.99), Some(99));
+        assert_eq!(percentile_ns(&lat, 1.0), Some(100));
+        assert_eq!(percentile_ns(&[42], 0.99), Some(42));
+        assert_eq!(percentile_ns(&[], 0.5), None);
     }
 
-    #[test]
-    fn json_round_trip() {
-        let report = ServeReport {
+    fn sample() -> ServeReport {
+        ServeReport {
             policy: "plan-cost-aware".into(),
             seed: 7,
             requests_admitted: 10,
@@ -117,9 +211,9 @@ mod tests {
             makespan_ns: 123_456,
             throughput_rps: 81_000.5,
             mean_latency_ns: 1_500.25,
-            p50_latency_ns: 1_200,
-            p95_latency_ns: 3_000,
-            p99_latency_ns: 4_500,
+            p50_latency_ns: Some(1_200),
+            p95_latency_ns: Some(3_000),
+            p99_latency_ns: Some(4_500),
             max_latency_ns: 5_000,
             total_energy_uj: 12.75,
             chips: vec![ChipReport {
@@ -129,9 +223,37 @@ mod tests {
                 utilization: 0.625,
                 energy_uj: 12.75,
             }],
-        };
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let report = sample();
         let back = ServeReport::from_json(&report.to_json()).expect("parse");
         assert_eq!(back, report);
         assert!((report.mean_utilization() - 0.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn none_percentiles_are_skipped_and_round_trip() {
+        let report = ServeReport {
+            requests_admitted: 0,
+            requests_completed: 0,
+            batches: 0,
+            mean_batch_size: 0.0,
+            makespan_ns: 0,
+            throughput_rps: 0.0,
+            mean_latency_ns: 0.0,
+            p50_latency_ns: None,
+            p95_latency_ns: None,
+            p99_latency_ns: None,
+            max_latency_ns: 0,
+            ..sample()
+        };
+        let json = report.to_json();
+        assert!(!json.contains("p50_latency_ns"), "{json}");
+        assert!(!json.contains("p99_latency_ns"), "{json}");
+        let back = ServeReport::from_json(&json).expect("parse");
+        assert_eq!(back, report);
     }
 }

@@ -25,6 +25,8 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use reram_core::plan::ExecutionPlan;
+use reram_core::verify::{verify_serve, ServeShape, Violation};
 use reram_core::AcceleratorConfig;
 use reram_nn::NetworkSpec;
 use reram_telemetry as telemetry;
@@ -101,6 +103,38 @@ pub struct ServeConfig {
     pub seed: u64,
 }
 
+impl ServeConfig {
+    /// Static feasibility check, no simulation: lowers one plan per catalog
+    /// model and runs [`reram_core::verify::verify_serve`] over this
+    /// config's shape — flagging a batcher linger that can never bind and
+    /// an offered arrival rate at or beyond the cluster's plan-priced
+    /// service capacity (queueing instability, `ρ = λ/μ ≥ 1`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`ServeError`] when a catalog model fails to lower
+    /// or the traffic model is degenerate — there is nothing to verify.
+    #[must_use = "the returned violations are the verification result"]
+    pub fn verify(
+        &self,
+        catalog: &[NetworkSpec],
+        accel: &AcceleratorConfig,
+    ) -> Result<Vec<Violation>, ServeError> {
+        let plans = catalog
+            .iter()
+            .map(|net| ExecutionPlan::lower(net, accel))
+            .collect::<Result<Vec<_>, _>>()?;
+        let shape = ServeShape {
+            chips: self.chips,
+            max_batch: self.batcher.max_batch,
+            max_linger_ns: self.batcher.max_linger_ns,
+            mean_arrival_rps: self.traffic.mean_rate_rps(self.horizon_ns),
+            mix: self.mix.clone(),
+        };
+        Ok(verify_serve(&plans, &shape))
+    }
+}
+
 impl Default for ServeConfig {
     fn default() -> Self {
         Self {
@@ -137,6 +171,7 @@ impl ServeSim {
     /// # Errors
     ///
     /// Returns [`ServeError::BadBatcher`] when `batcher.max_batch` is zero.
+    #[must_use = "the built simulation is the result"]
     pub fn new(
         cluster: Cluster,
         batcher: BatcherConfig,
@@ -297,6 +332,7 @@ impl ServeSim {
 ///
 /// Propagates every setup error: empty cluster/catalog, bad mix or traffic
 /// parameters, a zero `max_batch`, or a model that fails to lower.
+#[must_use = "the serving report is the result"]
 pub fn simulate(
     config: &ServeConfig,
     catalog: &[NetworkSpec],
@@ -353,9 +389,14 @@ mod tests {
                 .sum::<u64>(),
             report.requests_completed
         );
-        assert!(report.p50_latency_ns <= report.p95_latency_ns);
-        assert!(report.p95_latency_ns <= report.p99_latency_ns);
-        assert!(report.p99_latency_ns <= report.max_latency_ns);
+        let (p50, p95, p99) = (
+            report.p50_latency_ns.expect("completions"),
+            report.p95_latency_ns.expect("completions"),
+            report.p99_latency_ns.expect("completions"),
+        );
+        assert!(p50 <= p95);
+        assert!(p95 <= p99);
+        assert!(p99 <= report.max_latency_ns);
         assert!(report.throughput_rps > 0.0);
         assert!(report.total_energy_uj > 0.0);
         assert!(report.mean_batch_size >= 1.0);
@@ -419,6 +460,50 @@ mod tests {
         assert_eq!(
             simulate(&cfg, &catalog(), &AcceleratorConfig::default()).unwrap_err(),
             ServeError::BadBatcher
+        );
+    }
+
+    #[test]
+    fn zero_completions_report_no_percentiles() {
+        // An empty trace admits nothing: the batcher never fires, no batch
+        // ever completes, and the percentile fields must be absent rather
+        // than a bogus 0 ns tail.
+        let mut cfg = config();
+        cfg.traffic = TrafficModel::Trace { arrivals: vec![] };
+        let report = simulate(&cfg, &catalog(), &AcceleratorConfig::default()).expect("simulates");
+        assert_eq!(report.requests_completed, 0);
+        assert_eq!(report.batches, 0);
+        assert_eq!(report.p50_latency_ns, None);
+        assert_eq!(report.p95_latency_ns, None);
+        assert_eq!(report.p99_latency_ns, None);
+        let json = report.to_json();
+        assert!(!json.contains("p95_latency_ns"), "{json}");
+        assert_eq!(ServeReport::from_json(&json).expect("parse"), report);
+    }
+
+    #[test]
+    fn default_config_verifies_feasible() {
+        let violations = config()
+            .verify(&catalog(), &AcceleratorConfig::default())
+            .expect("verifiable");
+        assert_eq!(violations, Vec::new());
+    }
+
+    #[test]
+    fn overload_config_is_flagged_with_rho() {
+        let mut cfg = config();
+        cfg.chips = 1;
+        cfg.traffic = TrafficModel::Poisson {
+            rate_rps: 5_000_000_000.0,
+        };
+        let violations = cfg
+            .verify(&catalog(), &AcceleratorConfig::default())
+            .expect("verifiable");
+        assert!(
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::Overload { rho, .. } if *rho >= 1.0)),
+            "expected an Overload violation, got {violations:?}"
         );
     }
 

@@ -38,6 +38,7 @@ impl ModelMix {
     ///
     /// Returns [`ServeError::BadMix`] when `weights` is empty, contains a
     /// negative or non-finite weight, or sums to zero.
+    #[must_use = "the built mix is the result"]
     pub fn new(weights: &[f64]) -> Result<Self, ServeError> {
         if weights.is_empty() || weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
             return Err(ServeError::BadMix);
@@ -62,6 +63,7 @@ impl ModelMix {
     /// # Errors
     ///
     /// Returns [`ServeError::BadMix`] when `models == 0`.
+    #[must_use = "the built mix is the result"]
     pub fn uniform(models: usize) -> Result<Self, ServeError> {
         Self::new(&vec![1.0; models])
     }
@@ -113,6 +115,36 @@ pub enum TrafficModel {
 }
 
 impl TrafficModel {
+    /// Long-run mean arrival rate, requests per second — the `λ` the
+    /// static feasibility check compares against the cluster's service
+    /// capacity. Poisson is its rate; the bursty MMPP averages its two
+    /// states by dwell time; a trace counts its in-horizon arrivals.
+    #[must_use = "the computed rate is the result"]
+    pub fn mean_rate_rps(&self, horizon_ns: u64) -> f64 {
+        match self {
+            TrafficModel::Poisson { rate_rps } => *rate_rps,
+            TrafficModel::Bursty {
+                base_rps,
+                burst_rps,
+                mean_base_ns,
+                mean_burst_ns,
+            } => {
+                let dwell = mean_base_ns + mean_burst_ns;
+                if dwell <= 0.0 || !dwell.is_finite() {
+                    return 0.0;
+                }
+                (base_rps * mean_base_ns + burst_rps * mean_burst_ns) / dwell
+            }
+            TrafficModel::Trace { arrivals } => {
+                if horizon_ns == 0 {
+                    return 0.0;
+                }
+                let in_horizon = arrivals.iter().filter(|(t, _)| *t < horizon_ns).count();
+                in_horizon as f64 / (horizon_ns as f64 * 1e-9)
+            }
+        }
+    }
+
     fn validate(&self) -> Result<(), ServeError> {
         let ok = |x: f64| x.is_finite() && x > 0.0;
         match self {
@@ -155,6 +187,7 @@ fn exp_gap_ns(mean_ns: f64, rng: &mut StdRng) -> u64 {
 /// Returns [`ServeError::BadTraffic`] for non-positive rates or dwell
 /// times, and [`ServeError::BadMix`] when a trace entry's model index is
 /// outside the mix.
+#[must_use = "the generated requests are the result"]
 pub fn generate_requests(
     traffic: &TrafficModel,
     mix: &ModelMix,
@@ -337,6 +370,28 @@ mod tests {
             generate_requests(&bad, &mix, 1_000, 0),
             Err(ServeError::BadMix)
         );
+    }
+
+    #[test]
+    fn mean_rate_follows_each_traffic_model() {
+        assert_eq!(
+            TrafficModel::Poisson { rate_rps: 123.0 }.mean_rate_rps(1_000),
+            123.0
+        );
+        // Equal dwell times average the two state rates.
+        let bursty = TrafficModel::Bursty {
+            base_rps: 100.0,
+            burst_rps: 300.0,
+            mean_base_ns: 1_000.0,
+            mean_burst_ns: 1_000.0,
+        };
+        assert!((bursty.mean_rate_rps(1_000) - 200.0).abs() < 1e-12);
+        // 3 arrivals inside a 1 ms horizon (the 4th is outside) = 3000 rps.
+        let trace = TrafficModel::Trace {
+            arrivals: vec![(0, 0), (10, 0), (999_999, 1), (1_000_000, 1)],
+        };
+        assert!((trace.mean_rate_rps(1_000_000) - 3000.0).abs() < 1e-9);
+        assert_eq!(trace.mean_rate_rps(0), 0.0);
     }
 
     #[test]

@@ -133,6 +133,7 @@ impl RunReport {
     }
 
     /// Parses a report back from JSON.
+    #[must_use = "the parsed report is the result"]
     pub fn from_json(text: &str) -> Result<Self, serde::Error> {
         serde::json::from_str(text)
     }

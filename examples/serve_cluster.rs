@@ -53,8 +53,8 @@ fn main() {
             "{:<16} {:>10} {:>12.2} {:>12.2} {:>12.2} {:>5.0}%",
             report.policy,
             report.batches,
-            report.p50_latency_ns as f64 / 1e3,
-            report.p99_latency_ns as f64 / 1e3,
+            report.p50_latency_ns.unwrap_or(0) as f64 / 1e3,
+            report.p99_latency_ns.unwrap_or(0) as f64 / 1e3,
             report.throughput_rps / 1e6,
             report.mean_utilization() * 100.0
         );
